@@ -1,0 +1,271 @@
+// Command volabench regenerates the paper's experimental artifacts:
+//
+//	volabench -exp table2              Table 2 (dfb + wins, all 17 heuristics)
+//	volabench -exp figure2             Figure 2 (dfb vs wmin, ASCII plot + CSV)
+//	volabench -exp table3x5            Table 3 left (communication ×5)
+//	volabench -exp table3x10           Table 3 right (communication ×10)
+//	volabench -exp ablation            replication & correction ablations
+//	volabench -exp emctgain            EMCT-vs-MCT makespan ratio + Wilcoxon
+//	volabench -exp emctgain-norepl     the same with replication disabled
+//	volabench -print-grid              the Table 1 parameter grid
+//
+// -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
+// 10 trials per cell for Table 2 / Figure 2 and 100 × 10 for Table 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	volatile "repro"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl")
+		scenarios = flag.Int("scenarios", 6, "scenarios per grid cell")
+		trials    = flag.Int("trials", 4, "trials per scenario")
+		seed      = flag.Uint64("seed", 42, "sweep seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		csvPath   = flag.String("csv", "", "also write results to this CSV file")
+		grid      = flag.Bool("print-grid", false, "print the Table 1 grid and exit")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *grid {
+		printGrid()
+		return
+	}
+
+	progress := func(done, total int) {
+		if *quiet {
+			return
+		}
+		if done%50 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d instances", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	switch *exp {
+	case "table2":
+		cfg := volatile.Table2Config(*scenarios, *trials, *seed)
+		cfg.Workers, cfg.Progress = *workers, progress
+		res := mustSweep(cfg)
+		fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
+			res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		printRows(res.Overall, *csvPath)
+
+	case "figure2":
+		cfg := volatile.Figure2Config(*scenarios, *trials, *seed)
+		cfg.Workers, cfg.Progress = *workers, progress
+		res := mustSweep(cfg)
+		fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
+			res.Instances, time.Since(start).Round(time.Second))
+		printFigure2(res, cfg.Heuristics, *csvPath)
+
+	case "table3x5", "table3x10":
+		scale := 5
+		if *exp == "table3x10" {
+			scale = 10
+		}
+		cfg := volatile.Table3Config(scale, *scenarios, *trials, *seed)
+		cfg.Workers, cfg.Progress = *workers, progress
+		res := mustSweep(cfg)
+		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
+			scale, res.Instances, time.Since(start).Round(time.Second))
+		printRows(res.Overall, *csvPath)
+
+	case "ablation":
+		runAblation(*scenarios, *trials, *seed, *workers, progress)
+
+	case "emctgain":
+		runEMCTGain(*scenarios, *trials, *seed, false)
+
+	case "emctgain-norepl":
+		runEMCTGain(*scenarios, *trials, *seed, true)
+
+	default:
+		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func mustSweep(cfg volatile.SweepConfig) *volatile.SweepResult {
+	res, err := volatile.RunSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func printGrid() {
+	tb := report.NewTable("parameter", "values")
+	tb.AddRow("p", "20")
+	tb.AddRow("n", "5, 10, 20, 40")
+	tb.AddRow("ncom", "5, 10, 20")
+	tb.AddRow("wmin", "1..10")
+	fmt.Println("Table 1 — parameter values for the Markov experiments")
+	fmt.Print(tb.String())
+	fmt.Printf("\n%d grid cells total\n", len(volatile.PaperGrid()))
+}
+
+func printRows(rows []volatile.TableRow, csvPath string) {
+	tb := report.NewTable("Algorithm", "Average dfb", "#wins")
+	var csv [][]string
+	for _, r := range rows {
+		tb.AddRow(r.Name, fmt.Sprintf("%.2f", r.AvgDFB), fmt.Sprintf("%d", r.Wins))
+		csv = append(csv, []string{r.Name, fmt.Sprintf("%.4f", r.AvgDFB), fmt.Sprintf("%d", r.Wins)})
+	}
+	fmt.Print(tb.String())
+	if csvPath != "" {
+		writeCSV(csvPath, []string{"algorithm", "avg_dfb", "wins"}, csv)
+	}
+}
+
+func printFigure2(res *volatile.SweepResult, heuristics []string, csvPath string) {
+	wmins, series := volatile.Figure2Series(res, heuristics)
+	labels := make([]string, len(wmins))
+	for i, w := range wmins {
+		labels[i] = fmt.Sprintf("%d", w)
+	}
+	names := append([]string(nil), heuristics...)
+	sort.Strings(names)
+	var plotSeries []report.Series
+	for _, h := range names {
+		plotSeries = append(plotSeries, report.Series{Name: h, Y: series[h]})
+	}
+	if err := report.AsciiPlot(os.Stdout, "average dfb vs wmin", labels, plotSeries, 18); err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(1)
+	}
+	// Numeric table below the plot.
+	headers := append([]string{"wmin"}, names...)
+	tb := report.NewTable(headers...)
+	var csv [][]string
+	for i, w := range wmins {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, h := range names {
+			row = append(row, fmt.Sprintf("%.2f", series[h][i]))
+		}
+		tb.AddRow(row...)
+		csv = append(csv, row)
+	}
+	fmt.Println()
+	fmt.Print(tb.String())
+	if csvPath != "" {
+		writeCSV(csvPath, headers, csv)
+	}
+}
+
+// runAblation quantifies two design choices the paper calls out: task
+// replication (Section 6.1) and the contention-correcting factor
+// (Section 6.3.1), by re-running a mid-grid cell with each toggled.
+func runAblation(scenarios, trials int, seed uint64, workers int, progress func(int, int)) {
+	cell := volatile.Cell{Tasks: 5, Ncom: 5, Wmin: 5} // few tasks: replication matters
+	fmt.Println("Ablation A — replication on/off (n=5, ncom=5, wmin=5, emct)")
+	for _, repl := range []bool{true, false} {
+		opt := volatile.ScenarioOptions{}
+		if !repl {
+			opt.MaxReplicas = -1
+		}
+		res := mustSweep(volatile.SweepConfig{
+			Cells: []volatile.Cell{cell}, Heuristics: []string{"emct", "mct"},
+			Scenarios: scenarios * 4, Trials: trials, Seed: seed,
+			Options: opt, Workers: workers, Progress: progress,
+		})
+		mean := meanMakespanProxy(res)
+		fmt.Printf("  replication=%-5v avg dfb spread %.2f (emct vs mct over %d instances)\n",
+			repl, mean, res.Instances)
+		printRows(res.Overall, "")
+		fmt.Println()
+	}
+
+	fmt.Println("Ablation B — contention correction under communication ×10 (table3 cell)")
+	res := mustSweep(volatile.SweepConfig{
+		Cells:      []volatile.Cell{volatile.ContentionCell()},
+		Heuristics: []string{"emct", "emct*", "mct", "mct*", "ud", "ud*", "lw", "lw*"},
+		Scenarios:  scenarios * 4, Trials: trials, Seed: seed,
+		Options: volatile.ScenarioOptions{CommScale: 10},
+		Workers: workers, Progress: progress,
+	})
+	printRows(res.Overall, "")
+}
+
+// runEMCTGain reproduces the paper's headline "EMCT makespans are 10%
+// smaller than MCT's": it runs both heuristics on identical instances across
+// the grid, reports the mean makespan ratio, and tests significance with the
+// Wilcoxon signed-rank test.
+func runEMCTGain(scenarios, trials int, seed uint64, noReplication bool) {
+	var emct, mct []float64
+	cells := volatile.PaperGrid()
+	opt := volatile.ScenarioOptions{}
+	if noReplication {
+		opt.MaxReplicas = -1
+	}
+	for ci, cell := range cells {
+		for s := 0; s < scenarios; s++ {
+			scn := volatile.NewScenario(seed+uint64(ci*1000+s), cell, opt)
+			for tr := 0; tr < trials; tr++ {
+				a, err := scn.Run("emct", uint64(tr))
+				fatalIf(err)
+				b, err := scn.Run("mct", uint64(tr))
+				fatalIf(err)
+				if a.Completed && b.Completed {
+					emct = append(emct, float64(a.Makespan))
+					mct = append(mct, float64(b.Makespan))
+				}
+			}
+		}
+	}
+	var ratioSum float64
+	for i := range emct {
+		ratioSum += mct[i] / emct[i]
+	}
+	fmt.Printf("EMCT vs MCT over %d paired instances (full grid, replication disabled=%v):\n",
+		len(emct), noReplication)
+	fmt.Printf("  mean makespan ratio mct/emct = %.3f (paper reports ~1.10)\n",
+		ratioSum/float64(len(emct)))
+	verdict, err := stats.PairedComparison("emct", "mct", emct, mct)
+	fatalIf(err)
+	fmt.Println(" ", verdict)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(1)
+	}
+}
+
+// meanMakespanProxy summarizes a two-heuristic sweep as the dfb gap.
+func meanMakespanProxy(res *volatile.SweepResult) float64 {
+	if len(res.Overall) < 2 {
+		return 0
+	}
+	return res.Overall[len(res.Overall)-1].AvgDFB - res.Overall[0].AvgDFB
+}
+
+func writeCSV(path string, headers []string, rows [][]string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := report.WriteCSV(f, headers, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

@@ -1,0 +1,251 @@
+// Command volaoffline demonstrates the off-line results of Section 4:
+//
+//	volaoffline -demo figure1        the 3SAT reduction on the paper's example
+//	volaoffline -demo counterexample the MCT non-optimality example
+//	volaoffline -random-sat 5        random 3SAT reductions vs the exact solver
+//	volaoffline -maxsat 6            Proposition 1: max completable tasks vs
+//	                                 MAX-3SAT optimum on random reductions
+//	volaoffline -mct-check 20        MCT vs exhaustive optimum on random
+//	                                 contention-free instances (Proposition 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/avail"
+	"repro/internal/offline"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		demo      = flag.String("demo", "", "figure1 | counterexample")
+		randomSAT = flag.Int("random-sat", 0, "verify N random 3SAT reductions against the exact solver")
+		maxSAT    = flag.Int("maxsat", 0, "verify max-tasks = max-satisfiable-clauses on N random reductions")
+		mctCheck  = flag.Int("mct-check", 0, "verify MCT optimality (ncom=inf) on N random instances")
+		cnfPath   = flag.String("cnf", "", "reduce a DIMACS CNF file to an Off-Line instance and schedule it")
+		seed      = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *demo == "figure1":
+		demoFigure1()
+	case *demo == "counterexample":
+		demoCounterexample()
+	case *randomSAT > 0:
+		checkRandomSAT(*randomSAT, *seed)
+	case *maxSAT > 0:
+		checkMaxSAT(*maxSAT, *seed)
+	case *mctCheck > 0:
+		checkMCT(*mctCheck, *seed)
+	case *cnfPath != "":
+		reduceFile(*cnfPath)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// reduceFile runs the Theorem 1 pipeline on a user-supplied DIMACS formula:
+// parse, reduce, solve with DPLL, and (when satisfiable) build and verify
+// the constructive schedule.
+func reduceFile(path string) {
+	f, err := os.Open(path)
+	fatal(err)
+	defer f.Close()
+	cnf, err := offline.ParseDIMACS(f)
+	fatal(err)
+	in, err := offline.FromCNF(cnf)
+	fatal(err)
+	fmt.Printf("%s: %d variables, %d clauses\n", path, cnf.NumVars, len(cnf.Clauses))
+	fmt.Printf("reduction: p=%d processors, m=%d tasks, Tprog=%d, N=%d\n",
+		in.P(), in.M, in.Tprog, in.N())
+	assignment, sat := cnf.Solve()
+	if !sat {
+		fmt.Println("DPLL: UNSAT — by Theorem 1 no schedule completes within N")
+		return
+	}
+	fmt.Print("DPLL assignment:")
+	for v := 1; v <= cnf.NumVars; v++ {
+		fmt.Printf(" x%d=%v", v, assignment[v])
+	}
+	fmt.Println()
+	sched, err := offline.ScheduleFromAssignment(cnf, in, assignment)
+	fatal(err)
+	done, makespan, err := in.Replay(sched)
+	fatal(err)
+	fmt.Printf("constructive schedule: %d/%d tasks, makespan %d ≤ N=%d\n",
+		done, in.M, makespan, in.N())
+}
+
+// figure1CNF is the formula of the paper's Figure 1.
+func figure1CNF() *offline.CNF {
+	return &offline.CNF{NumVars: 4, Clauses: []offline.Clause{
+		{-1, 3, 4}, {1, -2, -3}, {2, 3, -4}, {1, 2, 4}, {-1, -2, -4}, {-2, 3, 4},
+	}}
+}
+
+func demoFigure1() {
+	f := figure1CNF()
+	fmt.Println("Figure 1 — 3SAT → Off-Line reduction on the paper's example formula:")
+	fmt.Println("  (¬x1∨x3∨x4)(x1∨¬x2∨¬x3)(x2∨x3∨¬x4)(x1∨x2∨x4)(¬x1∨¬x2∨¬x4)(¬x2∨x3∨x4)")
+	in, err := offline.FromCNF(f)
+	fatal(err)
+	fmt.Printf("\ninstance: p=%d processors, m=%d tasks, Tprog=%d, Tdata=%d, ncom=%d, N=%d\n\n",
+		in.P(), in.M, in.Tprog, in.Tdata, in.Ncom, in.N())
+	labels := []string{"x1", "¬x1", "x2", "¬x2", "x3", "¬x3", "x4", "¬x4"}
+	for q, v := range in.Vectors {
+		fmt.Printf("  %-4s %s\n", labels[q], v.String())
+	}
+	assignment, ok := f.Solve()
+	if !ok {
+		fmt.Println("\nformula is UNSAT")
+		return
+	}
+	fmt.Printf("\nDPLL assignment: ")
+	for v := 1; v <= f.NumVars; v++ {
+		fmt.Printf("x%d=%v ", v, assignment[v])
+	}
+	fmt.Println()
+	sched, err := offline.ScheduleFromAssignment(f, in, assignment)
+	fatal(err)
+	done, makespan, err := in.Replay(sched)
+	fatal(err)
+	fmt.Printf("constructed schedule: %d/%d tasks completed, makespan %d ≤ N=%d\n",
+		done, in.M, makespan, in.N())
+}
+
+func demoCounterexample() {
+	fmt.Println("Section 4 — MCT is not optimal when ncom is bounded:")
+	fmt.Println("  Tprog=Tdata=2, m=2, w=2, ncom=1, S1=uuuuuurrr, S2=ruuuuuuuu")
+	v1, _ := avail.ParseVector("uuuuuurrr")
+	v2, _ := avail.ParseVector("ruuuuuuuu")
+	in := &offline.Instance{
+		Vectors: []avail.Vector{v1, v2},
+		W:       []int{2, 2}, Tprog: 2, Tdata: 2, Ncom: 1, M: 2,
+	}
+	opt, err := offline.ExactSearch(in)
+	fatal(err)
+	fmt.Printf("\nexact optimal makespan: %d (send everything to P2 after waiting one slot)\n", opt)
+	greedy := &offline.Schedule{
+		Comm: [][]int{0: {0}, 1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}, 6: {1}, 7: {1}},
+	}
+	done, _, err := in.Replay(greedy)
+	fatal(err)
+	fmt.Printf("MCT-style schedule (serve P1 first): completes only %d/2 tasks within N=9\n", done)
+}
+
+func checkRandomSAT(n int, seed uint64) {
+	r := rng.New(seed)
+	agree := 0
+	for i := 0; i < n; i++ {
+		f := offline.Random3SAT(r, 3, 2+r.Intn(4))
+		in, err := offline.FromCNF(f)
+		fatal(err)
+		_, sat := f.Solve()
+		makespan, err := offline.ExactSearchLimit(in, 400_000)
+		fatal(err)
+		schedulable := makespan > 0
+		status := "AGREE"
+		if sat == schedulable {
+			agree++
+		} else {
+			status = "MISMATCH"
+		}
+		fmt.Printf("formula %2d: vars=3 clauses=%d  SAT=%-5v  schedulable=%-5v  %s\n",
+			i, len(f.Clauses), sat, schedulable, status)
+	}
+	fmt.Printf("\n%d/%d reductions agree with DPLL (Theorem 1)\n", agree, n)
+	if agree != n {
+		os.Exit(1)
+	}
+}
+
+// checkMaxSAT exercises the optimization version behind Proposition 1: on
+// reduction instances, the maximum number of completable tasks must equal
+// the maximum number of simultaneously satisfiable clauses, so any
+// 8/7−ε approximation of the scheduling problem would contradict Håstad's
+// MAX-3SAT bound.
+func checkMaxSAT(n int, seed uint64) {
+	r := rng.New(seed)
+	agree := 0
+	for i := 0; i < n; i++ {
+		f := offline.Random3SAT(r, 3, 2+r.Intn(3))
+		in, err := offline.FromCNF(f)
+		fatal(err)
+		maxTasks, err := offline.MaxTasksWithin(in, 600_000)
+		fatal(err)
+		maxSat, err := offline.MaxSatisfiableClauses(f)
+		fatal(err)
+		status := "AGREE"
+		if maxTasks == maxSat {
+			agree++
+		} else {
+			status = "MISMATCH"
+		}
+		fmt.Printf("formula %2d: clauses=%d  max-tasks=%d  max-sat=%d  %s\n",
+			i, len(f.Clauses), maxTasks, maxSat, status)
+	}
+	fmt.Printf("\n%d/%d reductions preserve the optimization objective (Proposition 1)\n", agree, n)
+	if agree != n {
+		os.Exit(1)
+	}
+}
+
+func checkMCT(n int, seed uint64) {
+	r := rng.New(seed)
+	agree := 0
+	for i := 0; i < n; i++ {
+		in := randomInstance(r)
+		_, mct, err := offline.MCTNoContention(in)
+		fatal(err)
+		opt, err := offline.OptimalNoContention(in)
+		fatal(err)
+		status := "AGREE"
+		if mct == opt {
+			agree++
+		} else {
+			status = "MISMATCH"
+		}
+		fmt.Printf("instance %2d: p=%d m=%d  MCT=%3d  optimal=%3d  %s\n",
+			i, in.P(), in.M, mct, opt, status)
+	}
+	fmt.Printf("\n%d/%d instances: MCT = optimal with ncom=∞ (Proposition 2)\n", agree, n)
+	if agree != n {
+		os.Exit(1)
+	}
+}
+
+func randomInstance(r *rng.PCG) *offline.Instance {
+	p := 2 + r.Intn(3)
+	in := &offline.Instance{
+		Tprog: 1 + r.Intn(3),
+		Tdata: r.Intn(3),
+		Ncom:  offline.NoContention,
+		M:     1 + r.Intn(4),
+		W:     make([]int, p),
+	}
+	for q := 0; q < p; q++ {
+		in.W[q] = 1 + r.Intn(3)
+		v := make(avail.Vector, 25)
+		for t := range v {
+			if r.Bernoulli(0.7) {
+				v[t] = avail.Up
+			} else {
+				v[t] = avail.Reclaimed
+			}
+		}
+		in.Vectors = append(in.Vectors, v)
+	}
+	return in
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volaoffline:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+// Command volatrace synthesizes, inspects and converts availability traces.
+//
+//	volatrace -gen -style weibull -p 20 -slots 10000 -out traces.vt
+//	volatrace -stats traces.vt
+//	volatrace -fit traces.vt
+//
+// Synthetic traces follow Failure-Trace-Archive-style semi-Markov processes
+// (heavy-tailed sojourns); -fit estimates the 3-state Markov model a master
+// would learn from each trace, reporting how far the memoryless assumption
+// is from the truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/avail"
+	"repro/internal/expect"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		gen    = flag.Bool("gen", false, "generate synthetic traces")
+		style  = flag.String("style", "weibull", "sojourn family: weibull|pareto|lognormal")
+		p      = flag.Int("p", 20, "processors to generate")
+		slots  = flag.Int("slots", 10000, "slots per trace")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		out    = flag.String("out", "", "output file for -gen (default stdout)")
+		stats  = flag.String("stats", "", "print occupancy statistics of a trace file")
+		fit    = flag.String("fit", "", "fit Markov models to a trace file")
+		meanUp = flag.Float64("mean-up", 40, "target mean UP sojourn (slots)")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		generate(*style, *p, *slots, *seed, *out, *meanUp)
+	case *stats != "":
+		statsCmd(*stats)
+	case *fit != "":
+		fitCmd(*fit)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseStyle(s string) (trace.FTAStyle, error) {
+	switch s {
+	case "weibull":
+		return trace.Weibull, nil
+	case "pareto":
+		return trace.Pareto, nil
+	case "lognormal":
+		return trace.LogNormal, nil
+	default:
+		return 0, fmt.Errorf("unknown style %q", s)
+	}
+}
+
+func generate(styleName string, p, slots int, seed uint64, out string, meanUp float64) {
+	style, err := parseStyle(styleName)
+	fatal(err)
+	r := rng.New(seed)
+	set := &trace.Set{}
+	for q := 0; q < p; q++ {
+		proc, err := trace.NewSynthProcess(r.Split(), trace.SynthOptions{Style: style, MeanUp: meanUp})
+		fatal(err)
+		set.Vectors = append(set.Vectors, avail.Record(proc, slots))
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	fatal(set.Write(w))
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d traces of %d slots (%s) to %s\n", p, slots, styleName, out)
+	}
+}
+
+func load(path string) *trace.Set {
+	f, err := os.Open(path)
+	fatal(err)
+	defer f.Close()
+	set, err := trace.Read(f)
+	fatal(err)
+	return set
+}
+
+func statsCmd(path string) {
+	set := load(path)
+	tb := report.NewTable("proc", "piU", "piR", "piD", "crashes", "reclaims")
+	for q, v := range set.Vectors {
+		piU, piR, piD := trace.EmpiricalStationary(v)
+		crashes, reclaims := 0, 0
+		for i := 1; i < len(v); i++ {
+			if v[i] == avail.Down && v[i-1] != avail.Down {
+				crashes++
+			}
+			if v[i] == avail.Reclaimed && v[i-1] == avail.Up {
+				reclaims++
+			}
+		}
+		tb.AddRow(fmt.Sprintf("%d", q),
+			fmt.Sprintf("%.3f", piU), fmt.Sprintf("%.3f", piR), fmt.Sprintf("%.3f", piD),
+			fmt.Sprintf("%d", crashes), fmt.Sprintf("%d", reclaims))
+	}
+	fmt.Printf("%s: %d traces × %d slots\n", path, len(set.Vectors), set.Len())
+	fmt.Print(tb.String())
+}
+
+func fitCmd(path string) {
+	set := load(path)
+	tb := report.NewTable("proc", "P(u,u)", "P(u,d)", "P+", "E(up)", "empirical piU", "model piU")
+	for q, v := range set.Vectors {
+		m, err := trace.FitMarkov3(v)
+		fatal(err)
+		piU, _, _ := m.Stationary()
+		empU, _, _ := trace.EmpiricalStationary(v)
+		tb.AddRow(fmt.Sprintf("%d", q),
+			fmt.Sprintf("%.4f", m.P(avail.Up, avail.Up)),
+			fmt.Sprintf("%.4f", m.P(avail.Up, avail.Down)),
+			fmt.Sprintf("%.4f", expect.PPlus(m)),
+			fmt.Sprintf("%.2f", expect.ExpectedUpStep(m)),
+			fmt.Sprintf("%.3f", empU),
+			fmt.Sprintf("%.3f", piU))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nmodel piU matching empirical piU means the fitted chain reproduces")
+	fmt.Println("occupancy; heavy-tailed sojourns still break its *dynamics* (the")
+	fmt.Println("memoryless assumption), which is what the tracedriven example probes.")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volatrace:", err)
+		os.Exit(1)
+	}
+}

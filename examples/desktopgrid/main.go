@@ -1,0 +1,72 @@
+// Desktopgrid: an enterprise desktop-grid campaign — the motivating workload
+// of the paper's introduction. A department wants to run a 10-iteration
+// mesh-solver overnight on 20 employee desktops that get reclaimed by their
+// owners and occasionally crash. Which scheduling policy should the master
+// use?
+//
+// This example runs all seventeen heuristics over a small sweep of random
+// platforms and prints a Table 2-style ranking (average degradation from
+// best + wins), demonstrating the paper's headline finding: the
+// failure-aware greedy heuristics (EMCT/UD/LW families) dominate the
+// reliability-blind and random policies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	volatile "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	// Overnight campaign: 20 tasks per iteration on 20 desktops; the
+	// office network lets the master feed 10 workers at once. wmin=5 puts
+	// task durations in the range where owner reclaims genuinely hurt.
+	cfg := volatile.SweepConfig{
+		Cells:     []volatile.Cell{{Tasks: 20, Ncom: 10, Wmin: 5}},
+		Scenarios: 12, // 12 random office platforms
+		Trials:    5,  // 5 nights each
+		Seed:      2026,
+		Progress: func(done, total int) {
+			if done%20 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsimulated %d/%d nights", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		},
+	}
+
+	res, err := volatile.RunSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndesktop-grid campaign: %d instances (platform × night), all 17 policies\n\n",
+		res.Instances)
+	tb := report.NewTable("rank", "policy", "avg dfb (%)", "wins")
+	for i, row := range res.Overall {
+		tb.AddRow(fmt.Sprintf("%d", i+1), row.Name,
+			fmt.Sprintf("%.2f", row.AvgDFB), fmt.Sprintf("%d", row.Wins))
+	}
+	fmt.Print(tb.String())
+
+	best := res.Overall[0]
+	var worstGreedy, bestRandom volatile.TableRow
+	for _, row := range res.Overall {
+		if len(row.Name) >= 6 && row.Name[:6] == "random" && bestRandom.Name == "" {
+			bestRandom = row
+		}
+	}
+	for i := len(res.Overall) - 1; i >= 0; i-- {
+		if name := res.Overall[i].Name; len(name) < 6 || name[:6] != "random" {
+			worstGreedy = res.Overall[i]
+			break
+		}
+	}
+	fmt.Printf("\nbest policy: %s (%.2f%% from best on average)\n", best.Name, best.AvgDFB)
+	fmt.Printf("even the worst greedy policy (%s, %.2f%%) beats the best random policy (%s, %.2f%%)\n",
+		worstGreedy.Name, worstGreedy.AvgDFB, bestRandom.Name, bestRandom.AvgDFB)
+}

@@ -1,0 +1,134 @@
+package avail
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/rng"
+)
+
+// Markov3 is the paper's 3-state Markov availability model (Section 5):
+// a recurrent aperiodic chain over {Up, Reclaimed, Down} defined by the nine
+// probabilities P(i,j). It carries its stationary distribution, which several
+// heuristics (Random3, Random4, UD) consume.
+type Markov3 struct {
+	chain *markov.Chain
+	pi    [3]float64
+}
+
+// NewMarkov3 validates the 3x3 transition matrix (indexed by State: Up=0,
+// Reclaimed=1, Down=2) and precomputes the stationary distribution.
+func NewMarkov3(p [3][3]float64) (*Markov3, error) {
+	rows := [][]float64{
+		{p[0][0], p[0][1], p[0][2]},
+		{p[1][0], p[1][1], p[1][2]},
+		{p[2][0], p[2][1], p[2][2]},
+	}
+	c, err := markov.NewChain(rows)
+	if err != nil {
+		return nil, fmt.Errorf("avail: %w", err)
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		return nil, fmt.Errorf("avail: %w", err)
+	}
+	m := &Markov3{chain: c}
+	copy(m.pi[:], pi)
+	return m, nil
+}
+
+// MustMarkov3 is NewMarkov3 that panics on error; for tests and examples.
+func MustMarkov3(p [3][3]float64) *Markov3 {
+	m, err := NewMarkov3(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RandomMarkov3 draws a model using the experimental rule of Section 7:
+// each diagonal entry P(x,x) is uniform in [0.90, 0.99] and the two
+// off-diagonal entries of the row split the remainder evenly,
+// P(x,y) = (1 - P(x,x)) / 2.
+func RandomMarkov3(r *rng.PCG) *Markov3 {
+	var p [3][3]float64
+	for i := 0; i < 3; i++ {
+		stay := r.UniformRange(0.90, 0.99)
+		rest := (1 - stay) / 2
+		for j := 0; j < 3; j++ {
+			if i == j {
+				p[i][j] = stay
+			} else {
+				p[i][j] = rest
+			}
+		}
+	}
+	return MustMarkov3(p)
+}
+
+// P returns the one-step transition probability from state i to state j.
+func (m *Markov3) P(i, j State) float64 { return m.chain.P(int(i), int(j)) }
+
+// Stationary returns the limit distribution (piU, piR, piD).
+func (m *Markov3) Stationary() (piU, piR, piD float64) {
+	return m.pi[0], m.pi[1], m.pi[2]
+}
+
+// Chain exposes the underlying generic chain (for analytics and tests).
+func (m *Markov3) Chain() *markov.Chain { return m.chain }
+
+// Matrix returns the 3x3 transition matrix.
+func (m *Markov3) Matrix() [3][3]float64 {
+	var p [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			p[i][j] = m.chain.P(i, j)
+		}
+	}
+	return p
+}
+
+// NewProcess returns a trajectory of this model starting in the given state,
+// driven by r. The first Next call returns initial itself (the state of
+// slot 0); subsequent calls step the chain. This matches VectorProcess,
+// whose first Next returns the first vector entry.
+func (m *Markov3) NewProcess(r *rng.PCG, initial State) *Markov3Process {
+	if !initial.Valid() {
+		panic("avail: invalid initial state")
+	}
+	return &Markov3Process{model: m, state: initial, r: r}
+}
+
+// SampleStationary draws a state from the model's limit distribution.
+func (m *Markov3) SampleStationary(r *rng.PCG) State {
+	x := r.Float64()
+	if x < m.pi[0] {
+		return Up
+	}
+	if x < m.pi[0]+m.pi[1] {
+		return Reclaimed
+	}
+	return Down
+}
+
+// Markov3Process is a single sampled trajectory of a Markov3 model.
+type Markov3Process struct {
+	model   *Markov3
+	state   State
+	started bool
+	r       *rng.PCG
+}
+
+// Next implements Process: the first call yields the initial state (slot 0),
+// each later call advances the chain by one transition.
+func (p *Markov3Process) Next() State {
+	if !p.started {
+		p.started = true
+		return p.state
+	}
+	p.state = State(p.model.chain.Step(int(p.state), p.r.Float64()))
+	return p.state
+}
+
+// State returns the current state without advancing.
+func (p *Markov3Process) State() State { return p.state }

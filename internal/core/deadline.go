@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/expect"
+	"repro/internal/sim"
+)
+
+// deadlineSched is an extension heuristic (not in the paper) enabled by the
+// completion-time distribution of internal/expect: instead of comparing
+// expectations (EMCT) or crash-survival probabilities (LW/UD), it fixes a
+// common soft deadline — slack × the best raw completion estimate among the
+// candidates — and picks the processor with the highest probability of
+// finishing its whole estimated workload by that deadline, crashes and
+// reclaims included.
+//
+// This blends the EMCT and UD signals: a processor can lose either by being
+// slow (like MCT penalizes), by being crash-prone (like UD penalizes), or
+// by having high completion-time variance (which no paper heuristic sees).
+type deadlineSched struct {
+	slack float64
+}
+
+// NewDeadline returns the deadline-probability heuristic. slack ≥ 1 widens
+// the common deadline relative to the best candidate's CT; 1.5 works well.
+func NewDeadline(slack float64) sim.Scheduler {
+	if slack < 1 {
+		slack = 1
+	}
+	return &deadlineSched{slack: slack}
+}
+
+// Name implements sim.Scheduler.
+func (s *deadlineSched) Name() string { return "deadline" }
+
+// Pick implements sim.Scheduler.
+func (s *deadlineSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	// Common deadline from the best raw CT.
+	bestCT := math.MaxInt
+	cts := make([]int, len(eligible))
+	for i, q := range eligible {
+		ct := CT(&v.Procs[q], rs.NQ[q]+1, v.Params.Tdata)
+		cts[i] = ct
+		if ct < bestCT {
+			bestCT = ct
+		}
+	}
+	deadline := int(s.slack * float64(bestCT))
+	if deadline < bestCT {
+		deadline = bestCT
+	}
+	best := eligible[0]
+	bestP := -1.0
+	for i, q := range eligible {
+		pv := &v.Procs[q]
+		p := expect.DeadlineProbability(pv.Model, cts[i], deadline)
+		// Tie-break by smaller CT, then lower ID.
+		if p > bestP+1e-12 ||
+			(math.Abs(p-bestP) <= 1e-12 && cts[i] < cts[indexOf(eligible, best)]) {
+			best, bestP = q, p
+		}
+	}
+	return best
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}

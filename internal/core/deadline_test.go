@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expect"
+	"repro/internal/sim"
+)
+
+func TestDeadlinePrefersLikelyFinisher(t *testing.T) {
+	prm := params(5, 0, 1)
+	// Equal CT; the crash-prone model has a lower deadline probability.
+	v := mkView(prm,
+		sim.ProcView{W: 5, Model: flakyModel()},
+		sim.ProcView{W: 5, Model: reliableModel()},
+	)
+	ct := CT(&v.Procs[0], 1, 1)
+	d := int(1.5 * float64(ct))
+	p0 := expect.DeadlineProbability(flakyModel(), ct, d)
+	p1 := expect.DeadlineProbability(reliableModel(), ct, d)
+	want := 0
+	if p1 > p0 {
+		want = 1
+	}
+	s := NewDeadline(1.5)
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), sim.TaskInfo{}); got != want {
+		t.Fatalf("deadline picked %d, want %d (p0=%v p1=%v)", got, want, p0, p1)
+	}
+}
+
+func TestDeadlineSlackClamp(t *testing.T) {
+	s := NewDeadline(0.1).(*deadlineSched)
+	if s.slack != 1 {
+		t.Fatalf("slack = %v, want clamped to 1", s.slack)
+	}
+	if s.Name() != "deadline" {
+		t.Fatalf("name %q", s.Name())
+	}
+}
+
+func TestDeadlinePicksEligibleOnly(t *testing.T) {
+	prm := params(5, 2, 1)
+	v := mkView(prm,
+		sim.ProcView{W: 3, Model: reliableModel()},
+		sim.ProcView{W: 3, Model: reliableModel()},
+	)
+	s := NewDeadline(1.5)
+	for trial := 0; trial < 5; trial++ {
+		if got := s.Pick(v, []int{1}, freshRound(2), sim.TaskInfo{}); got != 1 {
+			t.Fatalf("picked %d outside eligible set", got)
+		}
+	}
+}

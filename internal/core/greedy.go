@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/avail"
+	"repro/internal/expect"
+	"repro/internal/sim"
+)
+
+// correctionMode selects how a greedy heuristic estimates communication.
+type correctionMode int
+
+const (
+	// plainComm uses Equation 1: raw Tdata, contention ignored.
+	plainComm correctionMode = iota
+	// eq2Comm uses Equation 2 verbatim: Tdata scaled by ceil(nactive/ncom)
+	// (the paper's * variants).
+	eq2Comm
+	// aggressiveComm additionally scales the communication remainders
+	// inside Delay (program + in-flight data) by the same factor. This is
+	// NOT in the paper; it is an extension explored by the ablation
+	// benchmarks (registered under the "+" suffix).
+	aggressiveComm
+)
+
+// greedySched implements the MCT/EMCT/LW/UD family: it scores every eligible
+// processor for the task at hand and picks the best (lowest score; ties go
+// to the lowest processor ID, which keeps runs deterministic).
+type greedySched struct {
+	name string
+	mode correctionMode
+	// score maps (processor view, estimated completion time) to a
+	// lower-is-better score.
+	score func(pv *sim.ProcView, ct float64) float64
+}
+
+// Name implements sim.Scheduler.
+func (s *greedySched) Name() string { return s.name }
+
+// Pick implements sim.Scheduler.
+func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	best := eligible[0]
+	bestScore := math.Inf(1)
+	for _, q := range eligible {
+		pv := &v.Procs[q]
+		var ct float64
+		switch s.mode {
+		case plainComm:
+			ct = float64(CT(pv, rs.NQ[q]+1, v.Params.Tdata))
+		case eq2Comm:
+			ct = float64(CT(pv, rs.NQ[q]+1, CorrectedTdata(v.Params, effectiveNActive(pv, rs))))
+		case aggressiveComm:
+			na := effectiveNActive(pv, rs)
+			factor := (na + v.Params.Ncom - 1) / v.Params.Ncom
+			ct = float64(CTCorrected(pv, rs.NQ[q]+1, v.Params, factor))
+		}
+		score := s.score(pv, ct)
+		if score < bestScore || (score == bestScore && q < best) {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}
+
+// scoreMCT minimizes the estimated completion time itself.
+func scoreMCT(_ *sim.ProcView, ct float64) float64 { return ct }
+
+// scoreEMCT minimizes E(CT), the expected number of slots needed to be UP
+// during CT slots without going DOWN (Theorem 2).
+func scoreEMCT(pv *sim.ProcView, ct float64) float64 {
+	return expect.ExpectedSlots(pv.Model, ct)
+}
+
+// scoreLW maximizes (P+)^CT, computed in log space to survive large CT.
+func scoreLW(pv *sim.ProcView, ct float64) float64 {
+	pp := expect.PPlus(pv.Model)
+	if pp <= 0 {
+		return math.Inf(1)
+	}
+	// Maximize ct·ln(P+)  ⇔  minimize ct·(−ln(P+)).
+	return ct * -math.Log(pp)
+}
+
+// scoreUD maximizes the approximate P_UD(k) at k = E(CT), in log space.
+func scoreUD(pv *sim.ProcView, ct float64) float64 {
+	k := expect.ExpectedSlots(pv.Model, ct)
+	if k <= 1 {
+		return 0 // P_UD = 1
+	}
+	m := pv.Model
+	pud := m.P(avail.Up, avail.Down)
+	prd := m.P(avail.Reclaimed, avail.Down)
+	piU, piR, _ := m.Stationary()
+	if piU+piR <= 0 || pud >= 1 {
+		return math.Inf(1)
+	}
+	perSlot := 1 - (pud*piU+prd*piR)/(piU+piR)
+	if perSlot <= 0 {
+		return math.Inf(1)
+	}
+	// Minimize −ln P_UD(k) = −ln(1−P(u,d)) − (k−2)·ln(perSlot).
+	return -math.Log(1-pud) - (k-2)*math.Log(perSlot)
+}
+
+func greedyScore(base string) func(*sim.ProcView, float64) float64 {
+	switch base {
+	case "mct":
+		return scoreMCT
+	case "emct":
+		return scoreEMCT
+	case "lw":
+		return scoreLW
+	case "ud":
+		return scoreUD
+	default:
+		panic("core: unknown greedy base " + base)
+	}
+}
+
+// NewGreedy builds a greedy heuristic from its base name ("mct", "emct",
+// "lw", "ud") and correction mode suffix: "" = Equation 1, "*" = Equation 2,
+// "+" = the aggressive extension (non-paper; see correctionMode).
+func NewGreedy(base string, mode correctionMode) sim.Scheduler {
+	suffix := ""
+	switch mode {
+	case eq2Comm:
+		suffix = "*"
+	case aggressiveComm:
+		suffix = "+"
+	}
+	return &greedySched{name: base + suffix, mode: mode, score: greedyScore(base)}
+}
+
+// NewMCT returns the MCT heuristic (Section 6.3.1): minimize the estimated
+// completion time CT(P_q, n_q+1) of Equation 1. corrected=true yields MCT*
+// (Equation 2).
+func NewMCT(corrected bool) sim.Scheduler { return NewGreedy("mct", modeOf(corrected)) }
+
+// NewEMCT returns the EMCT heuristic; corrected=true yields EMCT*.
+func NewEMCT(corrected bool) sim.Scheduler { return NewGreedy("emct", modeOf(corrected)) }
+
+// NewLW returns the LW ("Likely to Work") heuristic (Section 6.3.2);
+// corrected=true yields LW*.
+func NewLW(corrected bool) sim.Scheduler { return NewGreedy("lw", modeOf(corrected)) }
+
+// NewUD returns the UD ("Unlikely Down") heuristic (Section 6.3.3);
+// corrected=true yields UD*.
+func NewUD(corrected bool) sim.Scheduler { return NewGreedy("ud", modeOf(corrected)) }
+
+func modeOf(corrected bool) correctionMode {
+	if corrected {
+		return eq2Comm
+	}
+	return plainComm
+}
+
+// NewRiskAverse returns an extension heuristic (not in the paper): it
+// minimizes E(CT) + λ·σ(CT), penalizing processors whose conditioned
+// completion times are *volatile*, not just long. σ comes from the
+// closed-form variance of Theorem 2's walk (expect.StdDevSlots). λ = 0
+// degenerates to EMCT.
+func NewRiskAverse(lambda float64) sim.Scheduler {
+	if lambda < 0 {
+		lambda = 0
+	}
+	return &greedySched{
+		name: "remct",
+		mode: plainComm,
+		score: func(pv *sim.ProcView, ct float64) float64 {
+			return expect.ExpectedSlots(pv.Model, ct) + lambda*expect.StdDevSlots(pv.Model, ct)
+		},
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/avail"
+	"repro/internal/sim"
+)
+
+// passiveSched realizes the paper's "passive" heuristic class (Section 6.1):
+// each task is assigned once, by an inner heuristic, and the choice is kept
+// as long as the chosen processor has not gone DOWN — even while it sits
+// RECLAIMED. Only a crash of the committed processor triggers a new choice.
+//
+// The paper argues this class "does not make sense" compared to the dynamic
+// class; implementing it lets the ablation benchmarks quantify that claim.
+// Replicas are delegated to the inner heuristic unchanged (replication
+// already targets only idle UP processors).
+type passiveSched struct {
+	inner sim.Scheduler
+	// commit[task] is the processor committed to in the current iteration.
+	commit map[int]int
+	// iteration tracks commit-map validity (task ids reset each iteration).
+	iteration int
+	started   bool
+}
+
+// NewPassive wraps an inner heuristic with passive (assign-once) semantics.
+func NewPassive(inner sim.Scheduler) sim.Scheduler {
+	return &passiveSched{inner: inner, commit: make(map[int]int)}
+}
+
+// Name implements sim.Scheduler.
+func (s *passiveSched) Name() string { return "passive-" + s.inner.Name() }
+
+// Pick implements sim.Scheduler.
+func (s *passiveSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	if !s.started || v.Iteration != s.iteration {
+		s.commit = make(map[int]int)
+		s.iteration = v.Iteration
+		s.started = true
+	}
+	if ti.Replica {
+		return s.inner.Pick(v, eligible, rs, ti)
+	}
+	if q, ok := s.commit[ti.Task]; ok {
+		switch v.Procs[q].State {
+		case avail.Up:
+			return q
+		case avail.Reclaimed:
+			// Wait for the committed processor to come back.
+			return sim.Decline
+		default:
+			// DOWN: the commitment is void; fall through to re-pick.
+		}
+	}
+	q := s.inner.Pick(v, eligible, rs, ti)
+	if q != sim.Decline {
+		s.commit[ti.Task] = q
+	}
+	return q
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/sim"
+)
+
+// scriptedInner is a deterministic inner heuristic recording its calls.
+type scriptedInner struct {
+	picks []int
+	calls int
+}
+
+func (s *scriptedInner) Name() string { return "scripted" }
+func (s *scriptedInner) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	p := s.picks[s.calls%len(s.picks)]
+	s.calls++
+	return p
+}
+
+func passiveView(states ...avail.State) *sim.View {
+	prm := params(5, 1, 1)
+	v := &sim.View{Params: prm, Procs: make([]sim.ProcView, len(states))}
+	for i, st := range states {
+		v.Procs[i] = sim.ProcView{ID: i, W: 1, State: st, Model: reliableModel()}
+	}
+	return v
+}
+
+func TestPassiveKeepsCommitmentWhileUp(t *testing.T) {
+	inner := &scriptedInner{picks: []int{1, 0}}
+	s := NewPassive(inner)
+	v := passiveView(avail.Up, avail.Up)
+	rs := freshRound(2)
+	ti := sim.TaskInfo{Task: 0}
+	if got := s.Pick(v, []int{0, 1}, rs, ti); got != 1 {
+		t.Fatalf("first pick %d, want inner's 1", got)
+	}
+	// Same task next slot: the commitment holds without consulting inner.
+	before := inner.calls
+	if got := s.Pick(v, []int{0, 1}, rs, ti); got != 1 {
+		t.Fatal("commitment not kept")
+	}
+	if inner.calls != before {
+		t.Fatal("inner consulted despite live commitment")
+	}
+}
+
+func TestPassiveWaitsOutReclaimed(t *testing.T) {
+	inner := &scriptedInner{picks: []int{1}}
+	s := NewPassive(inner)
+	ti := sim.TaskInfo{Task: 0}
+	// Commit to processor 1 while it is UP.
+	v := passiveView(avail.Up, avail.Up)
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), ti); got != 1 {
+		t.Fatal("setup pick failed")
+	}
+	// Processor 1 reclaimed: passive declines rather than moving the task.
+	v = passiveView(avail.Up, avail.Reclaimed)
+	if got := s.Pick(v, []int{0}, freshRound(2), ti); got != sim.Decline {
+		t.Fatalf("pick during reclaim = %d, want Decline", got)
+	}
+	// Back UP: the commitment resumes.
+	v = passiveView(avail.Up, avail.Up)
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), ti); got != 1 {
+		t.Fatal("commitment lost after reclaim")
+	}
+}
+
+func TestPassiveRepicksAfterCrash(t *testing.T) {
+	inner := &scriptedInner{picks: []int{1, 0}}
+	s := NewPassive(inner)
+	ti := sim.TaskInfo{Task: 0}
+	v := passiveView(avail.Up, avail.Up)
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), ti); got != 1 {
+		t.Fatal("setup pick failed")
+	}
+	// Processor 1 crashed: the commitment is void; inner picks 0.
+	v = passiveView(avail.Up, avail.Down)
+	if got := s.Pick(v, []int{0}, freshRound(2), ti); got != 0 {
+		t.Fatalf("post-crash pick = %d, want 0", got)
+	}
+	// The new commitment sticks.
+	v = passiveView(avail.Up, avail.Down)
+	before := inner.calls
+	if got := s.Pick(v, []int{0}, freshRound(2), ti); got != 0 || inner.calls != before {
+		t.Fatal("new commitment not kept")
+	}
+}
+
+func TestPassiveResetsAcrossIterations(t *testing.T) {
+	inner := &scriptedInner{picks: []int{1, 0}}
+	s := NewPassive(inner)
+	ti := sim.TaskInfo{Task: 0}
+	v := passiveView(avail.Up, avail.Up)
+	v.Iteration = 0
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), ti); got != 1 {
+		t.Fatal("iteration-0 pick failed")
+	}
+	// New iteration: task 0 is a different task; inner is consulted again.
+	v2 := passiveView(avail.Up, avail.Up)
+	v2.Iteration = 1
+	if got := s.Pick(v2, []int{0, 1}, freshRound(2), ti); got != 0 {
+		t.Fatalf("iteration-1 pick = %d, want fresh inner pick 0", got)
+	}
+}
+
+func TestPassiveDelegatesReplicas(t *testing.T) {
+	inner := &scriptedInner{picks: []int{0}}
+	s := NewPassive(inner)
+	v := passiveView(avail.Up, avail.Up)
+	ti := sim.TaskInfo{Task: 3, Replica: true, Copies: 1}
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), ti); got != 0 {
+		t.Fatal("replica pick not delegated")
+	}
+	// Replica picks must not create commitments for the original.
+	tiOrig := sim.TaskInfo{Task: 3}
+	inner.picks = []int{1}
+	inner.calls = 0
+	if got := s.Pick(v, []int{0, 1}, freshRound(2), tiOrig); got != 1 {
+		t.Fatal("replica pick leaked into original commitment")
+	}
+}
+
+func TestPassiveName(t *testing.T) {
+	if got := NewPassive(NewMCT(false)).Name(); got != "passive-mct" {
+		t.Fatalf("name = %q", got)
+	}
+}

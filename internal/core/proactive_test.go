@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/sim"
+)
+
+func TestProactiveCancelsSlowCommitment(t *testing.T) {
+	s := NewProactive(NewEMCT(false), 1.5).(*proactiveSched)
+	prm := params(5, 2, 1)
+	// Worker 0: busy computing with 50 slots left on a flaky model.
+	// Worker 1: idle UP, fast and with the program: fresh start ~ 1+1+... small.
+	v := &sim.View{Params: prm, Procs: []sim.ProcView{
+		{ID: 0, W: 50, State: avail.Up, Model: flakyModel(),
+			HasComputing: true, ComputingRem: 50},
+		{ID: 1, W: 2, State: avail.Up, Model: reliableModel(), RemProgram: 0},
+	}}
+	cancels := s.Cancel(v)
+	if len(cancels) != 1 || cancels[0] != 0 {
+		t.Fatalf("Cancel = %v, want [0]", cancels)
+	}
+}
+
+func TestProactiveKeepsReasonableCommitments(t *testing.T) {
+	s := NewProactive(NewEMCT(false), 1.5).(*proactiveSched)
+	prm := params(5, 10, 2)
+	// The busy worker is nearly done; the idle alternative must redo
+	// program + data + compute — no cancellation.
+	v := &sim.View{Params: prm, Procs: []sim.ProcView{
+		{ID: 0, W: 5, State: avail.Up, Model: reliableModel(),
+			HasComputing: true, ComputingRem: 2},
+		{ID: 1, W: 5, State: avail.Up, Model: reliableModel(), RemProgram: 10},
+	}}
+	if cancels := s.Cancel(v); len(cancels) != 0 {
+		t.Fatalf("Cancel = %v, want none", cancels)
+	}
+}
+
+func TestProactiveNeedsIdleAlternative(t *testing.T) {
+	s := NewProactive(NewEMCT(false), 1.5).(*proactiveSched)
+	prm := params(5, 2, 1)
+	// No idle UP processor: never cancel.
+	v := &sim.View{Params: prm, Procs: []sim.ProcView{
+		{ID: 0, W: 50, State: avail.Up, Model: flakyModel(),
+			HasComputing: true, ComputingRem: 50},
+		{ID: 1, W: 1, State: avail.Reclaimed, Model: reliableModel()},
+	}}
+	if cancels := s.Cancel(v); len(cancels) != 0 {
+		t.Fatalf("Cancel without alternative = %v", cancels)
+	}
+}
+
+func TestProactiveCancelsAtMostOnePerSlot(t *testing.T) {
+	s := NewProactive(NewEMCT(false), 1.5).(*proactiveSched)
+	prm := params(5, 2, 1)
+	v := &sim.View{Params: prm, Procs: []sim.ProcView{
+		{ID: 0, W: 80, State: avail.Up, Model: flakyModel(), HasComputing: true, ComputingRem: 80},
+		{ID: 1, W: 60, State: avail.Up, Model: flakyModel(), HasComputing: true, ComputingRem: 60},
+		{ID: 2, W: 2, State: avail.Up, Model: reliableModel()},
+	}}
+	cancels := s.Cancel(v)
+	if len(cancels) != 1 {
+		t.Fatalf("Cancel = %v, want exactly one", cancels)
+	}
+	if cancels[0] != 0 {
+		t.Fatalf("should cancel the worst pipeline (0), got %v", cancels)
+	}
+}
+
+func TestProactiveFactorClamp(t *testing.T) {
+	s := NewProactive(NewEMCT(false), 0.2).(*proactiveSched)
+	if s.factor != 1 {
+		t.Fatalf("factor = %v, want clamped to 1", s.factor)
+	}
+	if s.Name() != "proactive-emct" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestProactiveRunsCompleteAndCancel(t *testing.T) {
+	// Integration via registry happens in the root package tests; here just
+	// assert the Canceller interface is actually implemented.
+	var sched sim.Scheduler = NewProactive(NewEMCT(false), 1.5)
+	if _, ok := sched.(sim.Canceller); !ok {
+		t.Fatal("proactive scheduler does not implement sim.Canceller")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+	"repro/internal/expect"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// WeightFn computes a processor's selection weight for the weighted random
+// heuristics of Section 6.2.
+type WeightFn func(pv *sim.ProcView) float64
+
+// Predefined reliability weights (Section 6.2).
+var (
+	// WeightLongTimeUp is Random1: P(u,u), favoring processors that stay UP.
+	WeightLongTimeUp WeightFn = func(pv *sim.ProcView) float64 {
+		return pv.Model.P(avail.Up, avail.Up)
+	}
+	// WeightLikelyToWorkMore is Random2: P+, favoring processors likely to
+	// be UP again before crashing.
+	WeightLikelyToWorkMore WeightFn = func(pv *sim.ProcView) float64 {
+		return expect.PPlus(pv.Model)
+	}
+	// WeightOftenUp is Random3: πu, favoring processors UP more often.
+	WeightOftenUp WeightFn = func(pv *sim.ProcView) float64 {
+		piU, _, _ := pv.Model.Stationary()
+		return piU
+	}
+	// WeightRarelyDown is Random4: 1−πd, favoring processors DOWN less often.
+	WeightRarelyDown WeightFn = func(pv *sim.ProcView) float64 {
+		_, _, piD := pv.Model.Stationary()
+		return 1 - piD
+	}
+)
+
+// randomSched implements the random family. A nil weight yields the plain
+// uniform Random heuristic.
+type randomSched struct {
+	name    string
+	weight  WeightFn
+	bySpeed bool // divide the weight by w_q (the "w" variants)
+	r       *rng.PCG
+}
+
+// NewRandom returns the uniform Random heuristic.
+func NewRandom(r *rng.PCG) sim.Scheduler {
+	return &randomSched{name: "random", r: r}
+}
+
+// NewWeightedRandom returns a weighted random heuristic. idx selects the
+// paper's weight (1..4); bySpeed divides weights by processor speed.
+func NewWeightedRandom(idx int, bySpeed bool, r *rng.PCG) (sim.Scheduler, error) {
+	var w WeightFn
+	switch idx {
+	case 1:
+		w = WeightLongTimeUp
+	case 2:
+		w = WeightLikelyToWorkMore
+	case 3:
+		w = WeightOftenUp
+	case 4:
+		w = WeightRarelyDown
+	default:
+		return nil, fmt.Errorf("core: unknown random weight %d (want 1..4)", idx)
+	}
+	name := fmt.Sprintf("random%d", idx)
+	if bySpeed {
+		name += "w"
+	}
+	return &randomSched{name: name, weight: w, bySpeed: bySpeed, r: r}, nil
+}
+
+// Name implements sim.Scheduler.
+func (s *randomSched) Name() string { return s.name }
+
+// Pick implements sim.Scheduler.
+func (s *randomSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	if s.weight == nil {
+		return eligible[s.r.Intn(len(eligible))]
+	}
+	weights := make([]float64, len(eligible))
+	var total float64
+	for i, q := range eligible {
+		pv := &v.Procs[q]
+		w := s.weight(pv)
+		if w < 0 {
+			w = 0
+		}
+		if s.bySpeed {
+			w /= float64(pv.W)
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		// Degenerate weights (e.g. all-zero reliability): fall back to
+		// uniform so the pick is still valid.
+		return eligible[s.r.Intn(len(eligible))]
+	}
+	return eligible[s.r.Categorical(weights)]
+}

@@ -1,0 +1,109 @@
+package offline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in (simplified) DIMACS format:
+//
+//	c comment lines
+//	p cnf <variables> <clauses>
+//	<lit> <lit> ... 0        (clauses may span lines; 0 terminates)
+//
+// It allows the clause count in the header to disagree with the actual
+// number of clauses (many generators get it wrong) but requires literals to
+// stay within the declared variable range.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var f *CNF
+	var current Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("offline: dimacs line %d: duplicate problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("offline: dimacs line %d: bad problem line %q", line, text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv <= 0 {
+				return nil, fmt.Errorf("offline: dimacs line %d: bad variable count %q", line, fields[2])
+			}
+			f = &CNF{NumVars: nv}
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("offline: dimacs line %d: clause before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("offline: dimacs line %d: bad literal %q", line, tok)
+			}
+			if lit == 0 {
+				if len(current) == 0 {
+					return nil, fmt.Errorf("offline: dimacs line %d: empty clause", line)
+				}
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				return nil, fmt.Errorf("offline: dimacs line %d: literal %d exceeds %d variables",
+					line, lit, f.NumVars)
+			}
+			current = append(current, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("offline: dimacs: %w", err)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("offline: dimacs: no problem line")
+	}
+	if len(current) != 0 {
+		// Tolerate a missing trailing 0 on the final clause.
+		f.Clauses = append(f.Clauses, current)
+	}
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("offline: dimacs: no clauses")
+	}
+	return f, f.Validate()
+}
+
+// WriteDIMACS emits the formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *CNF) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		parts := make([]string, 0, len(c)+1)
+		for _, lit := range c {
+			parts = append(parts, strconv.Itoa(lit))
+		}
+		parts = append(parts, "0")
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package offline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+`
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != -2 || f.Clauses[1][0] != -1 {
+		t.Fatalf("clauses: %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	src := "p cnf 4 1\n1 2\n3 -4 0\n"
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("clauses: %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSMissingTrailingZero(t *testing.T) {
+	src := "p cnf 2 2\n1 2 0\n-1 -2\n"
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses: %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1 2 0\n",                  // clause before header
+		"p cnf 0 1\n1 0\n",         // zero vars
+		"p dnf 2 1\n1 0\n",         // wrong format tag
+		"p cnf 2 1\n1 x 0\n",       // bad literal
+		"p cnf 2 1\n3 0\n",         // out-of-range literal
+		"p cnf 2 1\n0\n",           // empty clause
+		"p cnf 2 1\np cnf 2 1\n",   // duplicate header
+		"p cnf 2 1\nc only\nc c\n", // no clauses
+	}
+	for i, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	r := rng.New(94)
+	for trial := 0; trial < 30; trial++ {
+		f := Random3SAT(r, 3+r.Intn(5), 1+r.Intn(10))
+		var b strings.Builder
+		if err := WriteDIMACS(&b, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseDIMACS(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", f, g)
+		}
+		for i := range f.Clauses {
+			for j := range f.Clauses[i] {
+				if f.Clauses[i][j] != g.Clauses[i][j] {
+					t.Fatalf("clause %d differs", i)
+				}
+			}
+		}
+		// Satisfiability preserved.
+		_, sf := f.Solve()
+		_, sg := g.Solve()
+		if sf != sg {
+			t.Fatal("round trip changed satisfiability")
+		}
+	}
+}

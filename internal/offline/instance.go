@@ -1,0 +1,160 @@
+// Package offline implements the off-line study of Section 4 of the paper:
+// scheduling one iteration of m identical tasks on processors whose
+// availability vectors are known in advance.
+//
+// Provided machinery:
+//
+//   - Instance: the off-line problem (availability vectors, Tprog, Tdata,
+//     per-processor speeds, ncom, m, horizon N), restricted to 2-state
+//     vectors {UP, RECLAIMED}; SplitDowns converts a 3-state instance using
+//     the paper's DOWN-splitting argument.
+//   - Schedule + Validate: explicit communication schedules and a checker
+//     that replays them under the model's rules.
+//   - MCTNoContention: the greedy schedule that is optimal for ncom = ∞
+//     (Proposition 2), and OptimalNoContention, an exhaustive-allocation
+//     optimum used to verify that optimality.
+//   - ExactSearch: a breadth-first exact solver for bounded ncom on small
+//     instances (the problem is NP-hard, Theorem 1).
+//   - CNF / DPLL / FromCNF: the 3SAT machinery and the Theorem 1 reduction,
+//     including the explicit schedule built from a satisfying assignment.
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+)
+
+// Instance is one off-line scheduling problem: complete m identical tasks
+// within N slots. Vectors must contain only Up and Reclaimed states (use
+// SplitDowns first if the original instance has DOWN slots).
+type Instance struct {
+	// Vectors[q][t] is processor q's availability at slot t; every vector
+	// has length N.
+	Vectors []avail.Vector
+	// W[q] is the number of UP compute slots processor q needs per task.
+	W []int
+	// Tprog is the program size in slots, Tdata the per-task data size.
+	Tprog, Tdata int
+	// Ncom bounds simultaneous transfers; use NoContention for ∞.
+	Ncom int
+	// M is the number of tasks of the single iteration.
+	M int
+}
+
+// NoContention encodes ncom = ∞.
+const NoContention = int(^uint(0) >> 1)
+
+// N returns the horizon (the common vector length).
+func (in *Instance) N() int {
+	if len(in.Vectors) == 0 {
+		return 0
+	}
+	return len(in.Vectors[0])
+}
+
+// P returns the number of processors.
+func (in *Instance) P() int { return len(in.Vectors) }
+
+// Validate checks structural consistency.
+func (in *Instance) Validate() error {
+	if in.P() == 0 {
+		return fmt.Errorf("offline: no processors")
+	}
+	n := in.N()
+	if n == 0 {
+		return fmt.Errorf("offline: empty horizon")
+	}
+	for q, v := range in.Vectors {
+		if len(v) != n {
+			return fmt.Errorf("offline: vector %d has length %d, want %d", q, len(v), n)
+		}
+		for t, s := range v {
+			if s == avail.Down {
+				return fmt.Errorf("offline: vector %d has DOWN at slot %d; apply SplitDowns first", q, t)
+			}
+			if !s.Valid() {
+				return fmt.Errorf("offline: vector %d has invalid state at slot %d", q, t)
+			}
+		}
+	}
+	if len(in.W) != in.P() {
+		return fmt.Errorf("offline: %d speeds for %d processors", len(in.W), in.P())
+	}
+	for q, w := range in.W {
+		if w <= 0 {
+			return fmt.Errorf("offline: processor %d has speed %d", q, w)
+		}
+	}
+	switch {
+	case in.Tprog < 0:
+		return fmt.Errorf("offline: Tprog=%d", in.Tprog)
+	case in.Tdata < 0:
+		return fmt.Errorf("offline: Tdata=%d", in.Tdata)
+	case in.Ncom <= 0:
+		return fmt.Errorf("offline: Ncom=%d", in.Ncom)
+	case in.M <= 0:
+		return fmt.Errorf("offline: M=%d", in.M)
+	}
+	return nil
+}
+
+// SplitDowns converts availability vectors that may contain DOWN slots into
+// a 2-state instance, using the construction in Section 4: since a processor
+// loses program, data and partial work when it goes DOWN, each maximal
+// DOWN-free segment of a vector behaves as an independent processor that is
+// RECLAIMED outside its segment. Speeds are inherited from the original
+// processor. The resulting instance has the same optimal makespan.
+func SplitDowns(vectors []avail.Vector, w []int, tprog, tdata, ncom, m int) (*Instance, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("offline: no vectors")
+	}
+	if len(w) != len(vectors) {
+		return nil, fmt.Errorf("offline: %d speeds for %d vectors", len(w), len(vectors))
+	}
+	n := len(vectors[0])
+	out := &Instance{Tprog: tprog, Tdata: tdata, Ncom: ncom, M: m}
+	for q, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("offline: vector %d has length %d, want %d", q, len(v), n)
+		}
+		start := -1
+		flush := func(end int) {
+			if start < 0 {
+				return
+			}
+			seg := make(avail.Vector, n)
+			for t := range seg {
+				if t >= start && t < end {
+					seg[t] = v[t]
+				} else {
+					seg[t] = avail.Reclaimed
+				}
+			}
+			out.Vectors = append(out.Vectors, seg)
+			out.W = append(out.W, w[q])
+			start = -1
+		}
+		for t, s := range v {
+			if s == avail.Down {
+				flush(t)
+				continue
+			}
+			if start < 0 {
+				start = t
+			}
+		}
+		flush(n)
+	}
+	if len(out.Vectors) == 0 {
+		// Every slot of every processor was DOWN; keep one dead processor so
+		// the instance stays well-formed (it simply cannot complete tasks).
+		dead := make(avail.Vector, n)
+		for t := range dead {
+			dead[t] = avail.Reclaimed
+		}
+		out.Vectors = append(out.Vectors, dead)
+		out.W = append(out.W, w[0])
+	}
+	return out, out.Validate()
+}

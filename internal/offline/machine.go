@@ -1,0 +1,177 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+)
+
+// procState is the per-processor execution state used by both the schedule
+// checker and the exact solver. The zero value is a fresh processor.
+type procState struct {
+	// progRecv counts program slots received (== Tprog means complete).
+	progRecv int
+	// dataRecv counts slots of the in-flight data transfer (0 = none).
+	dataRecv int
+	// hasData reports a complete data image waiting to start computing.
+	hasData bool
+	// computeRem is the remaining compute slots of the running task
+	// (0 = not computing).
+	computeRem int
+}
+
+// machine executes instance dynamics slot by slot. It is deterministic given
+// the per-slot decisions (comm grants and zero-cost task starts).
+type machine struct {
+	in    *Instance
+	procs []procState
+	// tasksStarted counts data transfers begun (each binds one task).
+	tasksStarted int
+	// tasksDone counts completed tasks.
+	tasksDone int
+}
+
+func newMachine(in *Instance) *machine {
+	return &machine{in: in, procs: make([]procState, in.P())}
+}
+
+// clone deep-copies the machine (for search).
+func (mc *machine) clone() *machine {
+	cp := *mc
+	cp.procs = append([]procState(nil), mc.procs...)
+	return &cp
+}
+
+// step advances one slot. comm lists the processors granted a channel this
+// slot; starts lists processors performing a zero-cost task start (only
+// meaningful when Tdata == 0). Decisions violating the model produce errors.
+func (mc *machine) step(t int, comm, starts []int) error {
+	in := mc.in
+	if len(comm) > in.Ncom {
+		return fmt.Errorf("offline: slot %d: %d transfers exceed ncom=%d", t, len(comm), in.Ncom)
+	}
+	seen := make(map[int]bool, len(comm))
+
+	// 1. Compute progress.
+	for q := range mc.procs {
+		p := &mc.procs[q]
+		if in.Vectors[q][t] == avail.Up && p.computeRem > 0 {
+			p.computeRem--
+			if p.computeRem == 0 {
+				mc.tasksDone++
+			}
+		}
+	}
+
+	// 2. Communication grants.
+	for _, q := range comm {
+		if q < 0 || q >= in.P() {
+			return fmt.Errorf("offline: slot %d: bad processor %d", t, q)
+		}
+		if seen[q] {
+			return fmt.Errorf("offline: slot %d: processor %d granted twice", t, q)
+		}
+		seen[q] = true
+		if in.Vectors[q][t] != avail.Up {
+			return fmt.Errorf("offline: slot %d: transfer to non-UP processor %d", t, q)
+		}
+		p := &mc.procs[q]
+		switch {
+		case p.progRecv < in.Tprog:
+			p.progRecv++
+		case p.dataRecv > 0:
+			p.dataRecv++
+			if p.dataRecv >= in.Tdata {
+				p.dataRecv = 0
+				p.hasData = true
+			}
+		case !p.hasData && in.Tdata > 0:
+			if mc.tasksStarted >= in.M {
+				return fmt.Errorf("offline: slot %d: processor %d starts data beyond m tasks", t, q)
+			}
+			mc.tasksStarted++
+			p.dataRecv = 1
+			if p.dataRecv >= in.Tdata {
+				p.dataRecv = 0
+				p.hasData = true
+			}
+		default:
+			return fmt.Errorf("offline: slot %d: processor %d has nothing to receive", t, q)
+		}
+	}
+
+	// 3. Zero-cost task starts (Tdata == 0 only).
+	for _, q := range starts {
+		if q < 0 || q >= in.P() {
+			return fmt.Errorf("offline: slot %d: bad start processor %d", t, q)
+		}
+		if in.Tdata != 0 {
+			return fmt.Errorf("offline: slot %d: zero-cost start with Tdata=%d", t, in.Tdata)
+		}
+		p := &mc.procs[q]
+		if in.Vectors[q][t] != avail.Up {
+			return fmt.Errorf("offline: slot %d: start on non-UP processor %d", t, q)
+		}
+		if p.progRecv < in.Tprog {
+			return fmt.Errorf("offline: slot %d: start before program on processor %d", t, q)
+		}
+		if p.hasData || p.computeRem > 0 {
+			return fmt.Errorf("offline: slot %d: start on busy processor %d", t, q)
+		}
+		if mc.tasksStarted >= in.M {
+			return fmt.Errorf("offline: slot %d: processor %d starts beyond m tasks", t, q)
+		}
+		mc.tasksStarted++
+		p.hasData = true
+	}
+
+	// 4. Promotion: a complete data image starts computing next slot.
+	for q := range mc.procs {
+		p := &mc.procs[q]
+		if p.computeRem == 0 && p.hasData {
+			p.hasData = false
+			p.computeRem = in.W[q]
+		}
+	}
+	return nil
+}
+
+// Schedule is an explicit off-line schedule: the communication grants and
+// (for Tdata = 0 instances) the task starts of every slot. Computation is
+// implicit: processors always compute begun tasks as early as possible,
+// which is dominant for identical independent tasks.
+type Schedule struct {
+	// Comm[t] lists the processors granted a channel in slot t.
+	Comm [][]int
+	// Starts[t] lists the processors that begin a zero-cost task in slot t.
+	Starts [][]int
+}
+
+// Validate replays the schedule on the instance. It returns the number of
+// completed tasks and the makespan (the slot count at which the m-th task
+// completed; 0 when the schedule never completes all tasks within N).
+func (in *Instance) Replay(s *Schedule) (tasksDone, makespan int, err error) {
+	if err := in.Validate(); err != nil {
+		return 0, 0, err
+	}
+	n := in.N()
+	if len(s.Comm) > n || len(s.Starts) > n {
+		return 0, 0, fmt.Errorf("offline: schedule longer than horizon %d", n)
+	}
+	mc := newMachine(in)
+	at := func(list [][]int, t int) []int {
+		if t < len(list) {
+			return list[t]
+		}
+		return nil
+	}
+	for t := 0; t < n; t++ {
+		if err := mc.step(t, at(s.Comm, t), at(s.Starts, t)); err != nil {
+			return mc.tasksDone, 0, err
+		}
+		if mc.tasksDone >= in.M && makespan == 0 {
+			makespan = t + 1
+		}
+	}
+	return mc.tasksDone, makespan, nil
+}

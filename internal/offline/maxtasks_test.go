@@ -1,0 +1,89 @@
+package offline
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/rng"
+)
+
+func TestMaxSatisfiableClauses(t *testing.T) {
+	// Contradictory pair: exactly one satisfiable.
+	f := &CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if got, err := MaxSatisfiableClauses(f); err != nil || got != 1 {
+		t.Fatalf("got %d/%v, want 1", got, err)
+	}
+	// Fully satisfiable formula.
+	g := &CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}}}
+	if got, _ := MaxSatisfiableClauses(g); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	// The minimal 2-var unsat formula satisfies 3 of 4.
+	u := &CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}
+	if got, _ := MaxSatisfiableClauses(u); got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+}
+
+func TestMaxTasksMatchesMaxSATOnReductions(t *testing.T) {
+	// Proposition 1's engine: on Theorem 1 instances, the maximum number of
+	// completable tasks equals the maximum number of satisfiable clauses.
+	// (For satisfiable formulas both equal m — covered elsewhere; here we
+	// focus on unsatisfiable and mixed formulas.)
+	formulas := []*CNF{
+		{NumVars: 1, Clauses: []Clause{{1}, {-1}}},
+		{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}},
+		{NumVars: 2, Clauses: []Clause{{1}, {-1}, {2}}},
+		{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}, {1, -2, 3}}},
+	}
+	r := rng.New(96)
+	for i := 0; i < 4; i++ {
+		formulas = append(formulas, Random3SAT(r, 3, 2+r.Intn(3)))
+	}
+	for fi, f := range formulas {
+		in, err := FromCNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxTasks, err := MaxTasksWithin(in, 600_000)
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		maxSat, err := MaxSatisfiableClauses(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxTasks != maxSat {
+			t.Fatalf("formula %d (%v): max tasks %d != max satisfiable clauses %d",
+				fi, f.Clauses, maxTasks, maxSat)
+		}
+	}
+}
+
+func TestMaxTasksSimpleInstance(t *testing.T) {
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuuuu")},
+		W:       []int{1}, Tprog: 1, Tdata: 1, Ncom: 1, M: 3,
+	}
+	// Single always-UP processor: the exhaustive maximum must match the
+	// deterministic asap pipeline count.
+	got, err := MaxTasksWithin(in, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := completionTasks(in)
+	if got != want {
+		t.Fatalf("MaxTasksWithin = %d, want %d (single-proc asap)", got, want)
+	}
+}
+
+// completionTasks counts how many tasks the single processor finishes by the
+// horizon under the asap policy.
+func completionTasks(in *Instance) int {
+	for k := in.M; k >= 1; k-- {
+		if completionOnProc(in, 0, k) > 0 {
+			return k
+		}
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+)
+
+// completionOnProc returns the earliest slot count by which processor q,
+// working alone with unlimited master bandwidth, completes k tasks
+// (program first, then per-task data, with the usual one-task prefetch and
+// compute/communication overlap). It returns -1 when the horizon is too
+// short. k = 0 returns 0.
+func completionOnProc(in *Instance, q, k int) int {
+	if k == 0 {
+		return 0
+	}
+	var p procState
+	started, done := 0, 0
+	for t := 0; t < in.N(); t++ {
+		if in.Vectors[q][t] != avail.Up {
+			continue
+		}
+		// Compute.
+		if p.computeRem > 0 {
+			p.computeRem--
+			if p.computeRem == 0 {
+				done++
+				if done == k {
+					return t + 1
+				}
+			}
+		}
+		// Communication (one unit per slot at bandwidth bw).
+		if p.progRecv < in.Tprog {
+			p.progRecv++
+		} else if p.dataRecv > 0 {
+			p.dataRecv++
+			if p.dataRecv >= in.Tdata {
+				p.dataRecv = 0
+				p.hasData = true
+			}
+		} else if in.Tdata > 0 && !p.hasData && started < k {
+			started++
+			p.dataRecv = 1
+			if p.dataRecv >= in.Tdata {
+				p.dataRecv = 0
+				p.hasData = true
+			}
+		}
+		// Zero-cost task start.
+		if in.Tdata == 0 && p.progRecv >= in.Tprog && p.computeRem == 0 &&
+			!p.hasData && started < k {
+			started++
+			p.hasData = true
+		}
+		// Promotion.
+		if p.computeRem == 0 && p.hasData {
+			p.hasData = false
+			p.computeRem = in.W[q]
+		}
+	}
+	return -1
+}
+
+// Allocation maps each processor to its number of assigned tasks.
+type Allocation []int
+
+// MCTNoContention runs the greedy MCT strategy of Proposition 2: the program
+// is sent to every processor as soon as possible (free, since ncom = ∞), and
+// each task goes to the processor that would finish it earliest. It returns
+// the allocation and the resulting makespan, or -1 when the instance cannot
+// complete m tasks within the horizon. The schedule it implies is optimal
+// when in.Ncom is NoContention (Proposition 2).
+func MCTNoContention(in *Instance) (Allocation, int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	alloc := make(Allocation, in.P())
+	for task := 0; task < in.M; task++ {
+		best, bestT := -1, -1
+		for q := 0; q < in.P(); q++ {
+			ct := completionOnProc(in, q, alloc[q]+1)
+			if ct < 0 {
+				continue
+			}
+			if bestT < 0 || ct < bestT {
+				best, bestT = q, ct
+			}
+		}
+		if best < 0 {
+			return alloc, -1, nil
+		}
+		alloc[best]++
+	}
+	makespan := 0
+	for q, k := range alloc {
+		if k == 0 {
+			continue
+		}
+		ct := completionOnProc(in, q, k)
+		if ct < 0 {
+			return alloc, -1, fmt.Errorf("offline: internal: accepted allocation unschedulable")
+		}
+		if ct > makespan {
+			makespan = ct
+		}
+	}
+	return alloc, makespan, nil
+}
+
+// OptimalNoContention exhaustively enumerates all ways of splitting the m
+// tasks across processors (valid for ncom = ∞, where processors do not
+// interact) and returns the minimal makespan, or -1 when no allocation
+// completes within the horizon. Exponential in p; intended to verify
+// Proposition 2 on small instances.
+func OptimalNoContention(in *Instance) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	// Memoize per-processor completion times.
+	ct := make([][]int, in.P())
+	for q := range ct {
+		ct[q] = make([]int, in.M+1)
+		for k := 0; k <= in.M; k++ {
+			ct[q][k] = completionOnProc(in, q, k)
+		}
+	}
+	best := -1
+	var rec func(q, left, worst int)
+	rec = func(q, left, worst int) {
+		if best >= 0 && worst >= best {
+			return // cannot improve
+		}
+		if q == in.P()-1 {
+			last := ct[q][left]
+			if last < 0 {
+				return
+			}
+			if last > worst {
+				worst = last
+			}
+			if best < 0 || worst < best {
+				best = worst
+			}
+			return
+		}
+		for k := 0; k <= left; k++ {
+			c := ct[q][k]
+			if c < 0 {
+				continue // this processor cannot run k tasks
+			}
+			w := worst
+			if c > w {
+				w = c
+			}
+			rec(q+1, left-k, w)
+		}
+	}
+	rec(0, in.M, 0)
+	return best, nil
+}

@@ -1,0 +1,527 @@
+package offline
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/rng"
+)
+
+func vec(t *testing.T, s string) avail.Vector {
+	t.Helper()
+	v, err := avail.ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestInstanceValidate(t *testing.T) {
+	ok := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuu"), vec(t, "urur")},
+		W:       []int{1, 2}, Tprog: 1, Tdata: 1, Ncom: 1, M: 1,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := *ok
+	bad.Vectors = []avail.Vector{vec(t, "uuuu"), vec(t, "ur")}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+	bad = *ok
+	bad.Vectors = []avail.Vector{vec(t, "uuud"), vec(t, "urur")}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("DOWN state accepted")
+	}
+	bad = *ok
+	bad.W = []int{1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("speed count mismatch accepted")
+	}
+	bad = *ok
+	bad.M = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}
+
+func TestSplitDowns(t *testing.T) {
+	// u u d u u  -> two segment processors:
+	//   u u r r r   and   r r r u u
+	in, err := SplitDowns([]avail.Vector{vec(t, "uuduu")}, []int{2}, 1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.P() != 2 {
+		t.Fatalf("split produced %d processors, want 2", in.P())
+	}
+	if got := in.Vectors[0].String(); got != "uurrr" {
+		t.Fatalf("first segment %q", got)
+	}
+	if got := in.Vectors[1].String(); got != "rrruu" {
+		t.Fatalf("second segment %q", got)
+	}
+	if in.W[0] != 2 || in.W[1] != 2 {
+		t.Fatal("speeds not inherited")
+	}
+}
+
+func TestSplitDownsAllDown(t *testing.T) {
+	in, err := SplitDowns([]avail.Vector{vec(t, "ddd")}, []int{1}, 1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.P() != 1 || in.Vectors[0].String() != "rrr" {
+		t.Fatalf("all-down conversion wrong: %v", in.Vectors)
+	}
+}
+
+func TestCompletionOnProcBasic(t *testing.T) {
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuuuuuuuuuu")},
+		W:       []int{2}, Tprog: 2, Tdata: 1, Ncom: 1, M: 3,
+	}
+	// k=0 -> 0 slots.
+	if got := completionOnProc(in, 0, 0); got != 0 {
+		t.Fatalf("k=0: %d", got)
+	}
+	// k=1: prog 0-1, data 2, compute 3-4 -> 5.
+	if got := completionOnProc(in, 0, 1); got != 5 {
+		t.Fatalf("k=1: %d, want 5", got)
+	}
+	// k=2 pipelined: data(2) at slot 5 (after promote of task1's data at
+	// slot 2... data2 transfers during compute): compute 5-6 -> 7.
+	if got := completionOnProc(in, 0, 2); got != 7 {
+		t.Fatalf("k=2: %d, want 7", got)
+	}
+	// k=3: one more (max(Tdata,w)=2) -> 9.
+	if got := completionOnProc(in, 0, 3); got != 9 {
+		t.Fatalf("k=3: %d, want 9", got)
+	}
+}
+
+func TestCompletionOnProcReclaimed(t *testing.T) {
+	// Interruptions stretch the schedule: u r u r u r ...
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "urururururur")},
+		W:       []int{1}, Tprog: 1, Tdata: 1, Ncom: 1, M: 2,
+	}
+	// UP slots: 0,2,4,6,...  prog@0, data@2, compute@4 -> 5 slots.
+	if got := completionOnProc(in, 0, 1); got != 5 {
+		t.Fatalf("k=1: %d, want 5", got)
+	}
+	// Task2: data@4 (overlap with compute), compute@6 -> 7.
+	if got := completionOnProc(in, 0, 2); got != 7 {
+		t.Fatalf("k=2: %d, want 7", got)
+	}
+}
+
+func TestCompletionOnProcHorizonExceeded(t *testing.T) {
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuu")},
+		W:       []int{5}, Tprog: 1, Tdata: 1, Ncom: 1, M: 1,
+	}
+	if got := completionOnProc(in, 0, 1); got != -1 {
+		t.Fatalf("impossible task returned %d", got)
+	}
+}
+
+func TestCompletionOnProcZeroTdata(t *testing.T) {
+	// Tdata=0, w=1: after the program, one task per UP slot.
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuuuuuu")},
+		W:       []int{1}, Tprog: 3, Tdata: 0, Ncom: 1, M: 4,
+	}
+	// prog 0-2 (start same slot program completes), compute 3,4,5,6.
+	for k := 1; k <= 4; k++ {
+		if got := completionOnProc(in, 0, k); got != 3+k+1-1 {
+			t.Fatalf("k=%d: %d, want %d", k, got, 3+k)
+		}
+	}
+}
+
+func TestMCTNoContentionSimple(t *testing.T) {
+	// Two processors, one fast one slow, 3 tasks.
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuuuuuuuuuuuuuuuuuu"), vec(t, "uuuuuuuuuuuuuuuuuuuu")},
+		W:       []int{1, 5}, Tprog: 1, Tdata: 1, Ncom: NoContention, M: 3,
+	}
+	alloc, makespan, err := MCTNoContention(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast proc: k tasks complete at 1+1+k*max(1,1)+... k=1:3, k=2:4, k=3:5.
+	// Slow proc: k=1: 1+1+5=7. MCT puts all three on the fast processor.
+	if alloc[0] != 3 || alloc[1] != 0 {
+		t.Fatalf("allocation %v, want [3 0]", alloc)
+	}
+	if makespan != 5 {
+		t.Fatalf("makespan %d, want 5", makespan)
+	}
+}
+
+func TestMCTNoContentionImpossible(t *testing.T) {
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "rrrr")},
+		W:       []int{1}, Tprog: 1, Tdata: 1, Ncom: NoContention, M: 1,
+	}
+	_, makespan, err := MCTNoContention(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != -1 {
+		t.Fatalf("makespan %d for impossible instance", makespan)
+	}
+}
+
+// randomTwoStateInstance draws a small 2-state instance.
+func randomTwoStateInstance(r *rng.PCG, p, m, n int) *Instance {
+	in := &Instance{
+		Tprog: 1 + r.Intn(3),
+		Tdata: r.Intn(3),
+		Ncom:  NoContention,
+		M:     m,
+		W:     make([]int, p),
+	}
+	for q := 0; q < p; q++ {
+		in.W[q] = 1 + r.Intn(3)
+		v := make(avail.Vector, n)
+		for t := range v {
+			if r.Bernoulli(0.7) {
+				v[t] = avail.Up
+			} else {
+				v[t] = avail.Reclaimed
+			}
+		}
+		in.Vectors = append(in.Vectors, v)
+	}
+	return in
+}
+
+func TestMCTOptimalNoContentionProperty(t *testing.T) {
+	// Proposition 2: MCT is optimal when ncom = ∞, heterogeneous speeds
+	// included. Verified against exhaustive allocation enumeration.
+	r := rng.New(61)
+	for trial := 0; trial < 200; trial++ {
+		in := randomTwoStateInstance(r, 2+r.Intn(3), 1+r.Intn(4), 25)
+		_, mct, err := MCTNoContention(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalNoContention(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mct != opt {
+			t.Fatalf("trial %d: MCT makespan %d != optimal %d\ninstance: %+v",
+				trial, mct, opt, in)
+		}
+	}
+}
+
+func TestExactSearchMatchesSingleProc(t *testing.T) {
+	// On single-processor instances the exact search must agree with the
+	// deterministic pipeline simulation.
+	r := rng.New(62)
+	for trial := 0; trial < 40; trial++ {
+		in := randomTwoStateInstance(r, 1, 1+r.Intn(3), 20)
+		in.Ncom = 1
+		want := completionOnProc(in, 0, in.M)
+		got, err := ExactSearch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: exact %d != single-proc %d (instance %+v)",
+				trial, got, want, in)
+		}
+	}
+}
+
+func TestExactSearchMatchesOptimalWhenUncontended(t *testing.T) {
+	// With ncom >= p the bound is vacuous; the exact search must equal the
+	// allocation-enumeration optimum.
+	r := rng.New(63)
+	for trial := 0; trial < 25; trial++ {
+		in := randomTwoStateInstance(r, 2, 1+r.Intn(3), 14)
+		in.Ncom = in.P()
+		opt, err := OptimalNoContention(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExactSearch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != opt {
+			t.Fatalf("trial %d: exact %d != optimal %d (instance %+v)",
+				trial, got, opt, in)
+		}
+	}
+}
+
+func TestMCTCounterexample(t *testing.T) {
+	// Section 4's example: Tprog = Tdata = 2, m = 2, two identical
+	// processors (w = 2), ncom = 1, S1 = uuuuuurrr, S2 = ruuuuuuuu.
+	// The optimal schedule takes 9 slots (both tasks on P2); serving P1
+	// first (the MCT choice) cannot finish by 9.
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuuuurrr"), vec(t, "ruuuuuuuu")},
+		W:       []int{2, 2}, Tprog: 2, Tdata: 2, Ncom: 1, M: 2,
+	}
+	opt, err := ExactSearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 9 {
+		t.Fatalf("optimal makespan %d, want 9", opt)
+	}
+	// The explicit optimal schedule: everything to P2 (prog 1-2, data 3-4,
+	// compute 5-6 / prefetch 5-6, compute 7-8).
+	sched := &Schedule{
+		Comm: [][]int{1: {1}, 2: {1}, 3: {1}, 4: {1}, 5: {1}, 6: {1}},
+	}
+	done, makespan, err := in.Replay(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 || makespan != 9 {
+		t.Fatalf("P2-only schedule: done=%d makespan=%d, want 2/9", done, makespan)
+	}
+	// Serving P1 greedily: prog 0-1, data 2-3, compute 4-5; the channel is
+	// busy until slot 3, so P2 starts its program at slot 4 at the earliest
+	// and cannot finish the second task within the horizon.
+	greedy := &Schedule{
+		Comm: [][]int{0: {0}, 1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}, 6: {1}, 7: {1}},
+	}
+	done, _, err = in.Replay(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Fatalf("greedy-first schedule completed %d tasks, want 1", done)
+	}
+}
+
+func TestCheckerRejectsViolations(t *testing.T) {
+	in := &Instance{
+		Vectors: []avail.Vector{vec(t, "uruu"), vec(t, "uuuu")},
+		W:       []int{1, 1}, Tprog: 1, Tdata: 1, Ncom: 1, M: 2,
+	}
+	// Transfer to a RECLAIMED processor.
+	if _, _, err := in.Replay(&Schedule{Comm: [][]int{1: {0}}}); err == nil {
+		t.Fatal("transfer to reclaimed processor accepted")
+	}
+	// Exceeding ncom.
+	if _, _, err := in.Replay(&Schedule{Comm: [][]int{0: {0, 1}}}); err == nil {
+		t.Fatal("ncom violation accepted")
+	}
+	// Duplicate grant.
+	if _, _, err := in.Replay(&Schedule{Comm: [][]int{0: {0, 0}}}); err == nil {
+		t.Fatal("duplicate grant accepted")
+	}
+	// Zero-cost start on a Tdata>0 instance.
+	if _, _, err := in.Replay(&Schedule{Starts: [][]int{0: {0}}}); err == nil {
+		t.Fatal("zero-cost start accepted with Tdata>0")
+	}
+	// Receiving with nothing to receive (program done, pipeline full).
+	in0 := &Instance{
+		Vectors: []avail.Vector{vec(t, "uuuu")},
+		W:       []int{4}, Tprog: 1, Tdata: 1, Ncom: 1, M: 1,
+	}
+	// prog@0, data@1 (task bound), slot 2: nothing left to receive.
+	if _, _, err := in0.Replay(&Schedule{Comm: [][]int{0: {0}, 1: {0}, 2: {0}}}); err == nil {
+		t.Fatal("over-transfer accepted")
+	}
+}
+
+func TestDPLLKnownFormulas(t *testing.T) {
+	sat := &CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}}}
+	if a, ok := sat.Solve(); !ok || !sat.Eval(a) {
+		t.Fatal("satisfiable formula not solved")
+	}
+	unsat := &CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}
+	if _, ok := unsat.Solve(); ok {
+		t.Fatal("unsatisfiable formula declared SAT")
+	}
+	single := &CNF{NumVars: 1, Clauses: []Clause{{1}}}
+	if a, ok := single.Solve(); !ok || !a[1] {
+		t.Fatal("unit formula mis-solved")
+	}
+	contradiction := &CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if _, ok := contradiction.Solve(); ok {
+		t.Fatal("contradiction declared SAT")
+	}
+}
+
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	r := rng.New(64)
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + r.Intn(3)
+		f := Random3SAT(r, n, 2+r.Intn(10))
+		_, got := f.Solve()
+		want := bruteForceSAT(f)
+		if got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v for %+v", trial, got, want, f)
+		}
+	}
+}
+
+func bruteForceSAT(f *CNF) bool {
+	assignment := make([]bool, f.NumVars+1)
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		for v := 1; v <= f.NumVars; v++ {
+			assignment[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(assignment) {
+			return true
+		}
+	}
+	return false
+}
+
+// figure1CNF is the formula illustrated in Figure 1 of the paper:
+// (¬x1∨x3∨x4)(x1∨¬x2∨¬x3)(x2∨x3∨¬x4)(x1∨x2∨x4)(¬x1∨¬x2∨¬x4)(¬x2∨x3∨x4).
+func figure1CNF() *CNF {
+	return &CNF{NumVars: 4, Clauses: []Clause{
+		{-1, 3, 4}, {1, -2, -3}, {2, 3, -4}, {1, 2, 4}, {-1, -2, -4}, {-2, 3, 4},
+	}}
+}
+
+func TestReductionStructureFigure1(t *testing.T) {
+	f := figure1CNF()
+	in, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.P() != 8 || in.N() != 30 || in.Tprog != 6 || in.Tdata != 0 || in.Ncom != 1 || in.M != 6 {
+		t.Fatalf("reduction shape wrong: p=%d N=%d Tprog=%d", in.P(), in.N(), in.Tprog)
+	}
+	// x1 appears positively in C2 and C4 (0-indexed slots 1 and 3).
+	x1 := in.Vectors[0]
+	for j := 0; j < 6; j++ {
+		up := x1[j] == avail.Up
+		want := j == 1 || j == 3
+		if up != want {
+			t.Fatalf("x1 clause window slot %d: up=%v, want %v", j, up, want)
+		}
+	}
+	// ¬x2 appears in C2, C5, C6 (slots 1, 4, 5).
+	nx2 := in.Vectors[3]
+	for j := 0; j < 6; j++ {
+		up := nx2[j] == avail.Up
+		want := j == 1 || j == 4 || j == 5
+		if up != want {
+			t.Fatalf("¬x2 clause window slot %d: up=%v, want %v", j, up, want)
+		}
+	}
+	// Private window of variable 3 (slots 18..23): exactly processors 4,5 UP.
+	for tSlot := 18; tSlot < 24; tSlot++ {
+		for q := 0; q < 8; q++ {
+			up := in.Vectors[q][tSlot] == avail.Up
+			want := q == 4 || q == 5
+			if up != want {
+				t.Fatalf("private window slot %d proc %d: up=%v want %v", tSlot, q, up, want)
+			}
+		}
+	}
+}
+
+func TestReductionScheduleFromAssignmentFigure1(t *testing.T) {
+	f := figure1CNF()
+	in, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment, ok := f.Solve()
+	if !ok {
+		t.Fatal("figure-1 formula should be satisfiable")
+	}
+	sched, err := ScheduleFromAssignment(f, in, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, makespan, err := in.Replay(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != in.M {
+		t.Fatalf("schedule completed %d tasks, want %d", done, in.M)
+	}
+	if makespan == 0 || makespan > in.N() {
+		t.Fatalf("makespan %d outside (0, %d]", makespan, in.N())
+	}
+}
+
+func TestReductionAgreesWithSATSmall(t *testing.T) {
+	// Theorem 1 both ways on exhaustively-solved instances: the reduction
+	// instance completes within N iff the formula is satisfiable.
+	r := rng.New(65)
+	satSeen, unsatSeen := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		f := Random3SAT(r, 3, 2+r.Intn(4))
+		in, err := FromCNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assignment, sat := f.Solve()
+		makespan, err := ExactSearchLimit(in, 400_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sat {
+			satSeen++
+			if makespan < 0 || makespan > in.N() {
+				t.Fatalf("trial %d: SAT formula but exact makespan %d (N=%d)",
+					trial, makespan, in.N())
+			}
+			// The constructive schedule must validate too.
+			sched, err := ScheduleFromAssignment(f, in, assignment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done, _, err := in.Replay(sched); err != nil || done != in.M {
+				t.Fatalf("trial %d: constructive schedule invalid (done=%d err=%v)",
+					trial, done, err)
+			}
+		} else {
+			unsatSeen++
+			if makespan != -1 {
+				t.Fatalf("trial %d: UNSAT formula but schedule of makespan %d found",
+					trial, makespan)
+			}
+		}
+	}
+	if satSeen == 0 {
+		t.Error("no satisfiable formulas exercised")
+	}
+	if unsatSeen == 0 {
+		t.Log("note: no unsatisfiable formulas drawn in this sample")
+	}
+}
+
+func BenchmarkOfflineMCT(b *testing.B) {
+	r := rng.New(66)
+	in := randomTwoStateInstance(r, 8, 20, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MCTNoContention(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSearchReduction(b *testing.B) {
+	f := &CNF{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, 3}}}
+	in, err := FromCNF(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactSearchLimit(in, 400_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

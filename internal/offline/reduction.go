@@ -1,0 +1,165 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+)
+
+// FromCNF builds the Off-Line instance of the Theorem 1 reduction: given a
+// 3SAT formula with n variables and m clauses, it constructs p = 2n
+// processors, ncom = 1, Tprog = m, Tdata = 0, w = 1, and horizon
+// N = m(n+1), with availability (0-indexed slots):
+//
+//   - clause window, slots 0..m-1: processor 2i-2 (the paper's P_{2i-1},
+//     carrying literal x_i) is UP at slot j-1 iff x_i ∈ C_j; processor 2i-1
+//     (the paper's P_{2i}, carrying ¬x_i) is UP iff ¬x_i ∈ C_j;
+//   - private window of variable i, slots m·i..m·(i+1)-1: both of variable
+//     i's processors are UP, every other processor is RECLAIMED.
+//
+// The formula is satisfiable iff the instance can complete its m tasks
+// within N slots.
+func FromCNF(f *CNF) (*Instance, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := f.NumVars
+	m := len(f.Clauses)
+	horizon := m * (n + 1)
+	in := &Instance{
+		Tprog: m,
+		Tdata: 0,
+		Ncom:  1,
+		M:     m,
+		W:     make([]int, 2*n),
+	}
+	in.Vectors = make([]avail.Vector, 2*n)
+	for q := range in.Vectors {
+		v := make(avail.Vector, horizon)
+		for t := range v {
+			v[t] = avail.Reclaimed
+		}
+		in.Vectors[q] = v
+		in.W[q] = 1
+	}
+	// Clause windows.
+	for j, c := range f.Clauses {
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if lit > 0 {
+				in.Vectors[2*(v-1)][j] = avail.Up
+			} else {
+				in.Vectors[2*(v-1)+1][j] = avail.Up
+			}
+		}
+	}
+	// Private windows.
+	for i := 1; i <= n; i++ {
+		for t := m * i; t < m*(i+1); t++ {
+			in.Vectors[2*(i-1)][t] = avail.Up
+			in.Vectors[2*(i-1)+1][t] = avail.Up
+		}
+	}
+	return in, in.Validate()
+}
+
+// litProc returns the processor index carrying the literal of variable v
+// (1-indexed) with the given polarity.
+func litProc(v int, positive bool) int {
+	if positive {
+		return 2 * (v - 1)
+	}
+	return 2*(v-1) + 1
+}
+
+// ScheduleFromAssignment materializes the schedule the Theorem 1 proof
+// builds from a satisfying assignment: during clause slot j, the processor
+// of one true literal of C_j downloads one program slot; during variable i's
+// private window, processor p(i) (the one matching the assignment) finishes
+// its program and computes as many tasks as it received clause slots.
+// Task starts are generated greedily by replaying the machine.
+func ScheduleFromAssignment(f *CNF, in *Instance, assignment []bool) (*Schedule, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(assignment) < f.NumVars+1 {
+		return nil, fmt.Errorf("offline: assignment covers %d variables, want %d",
+			len(assignment)-1, f.NumVars)
+	}
+	if !f.Eval(assignment) {
+		return nil, fmt.Errorf("offline: assignment does not satisfy the formula")
+	}
+	n := f.NumVars
+	m := len(f.Clauses)
+	horizon := in.N()
+	sched := &Schedule{
+		Comm:   make([][]int, horizon),
+		Starts: make([][]int, horizon),
+	}
+	// Clause windows: one program slot to the processor of a true literal.
+	received := make([]int, in.P()) // L_q: program slots received early
+	for j, c := range f.Clauses {
+		proc := -1
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if (lit > 0) == assignment[v] {
+				proc = litProc(v, lit > 0)
+				break
+			}
+		}
+		if proc < 0 {
+			return nil, fmt.Errorf("offline: clause %d has no true literal", j)
+		}
+		sched.Comm[j] = []int{proc}
+		received[proc]++
+	}
+	// Private windows: p(i) completes the program.
+	taskBudget := make([]int, in.P())
+	for i := 1; i <= n; i++ {
+		p := litProc(i, assignment[i])
+		rem := m - received[p]
+		for k := 0; k < rem; k++ {
+			sched.Comm[m*i+k] = []int{p}
+		}
+		taskBudget[p] = received[p]
+	}
+	// Task starts: replay and start greedily wherever a budgeted processor
+	// is idle with a complete program.
+	mc := newMachine(in)
+	for t := 0; t < horizon; t++ {
+		var starts []int
+		// Predict post-comm eligibility conservatively, then verify by
+		// stepping a clone.
+		for q := 0; q < in.P(); q++ {
+			if taskBudget[q] == 0 || in.Vectors[q][t] != avail.Up {
+				continue
+			}
+			p := mc.procs[q]
+			willHaveProg := p.progRecv >= in.Tprog ||
+				(p.progRecv == in.Tprog-1 && len(sched.Comm[t]) > 0 && sched.Comm[t][0] == q)
+			if willHaveProg && !p.hasData && p.computeRem <= 1 {
+				starts = append(starts, q)
+			}
+		}
+		// Validate candidate starts one by one on a clone.
+		var accepted []int
+		for _, q := range starts {
+			trial := mc.clone()
+			if err := trial.step(t, sched.Comm[t], append(append([]int(nil), accepted...), q)); err == nil {
+				accepted = append(accepted, q)
+				taskBudget[q]--
+			}
+		}
+		sched.Starts[t] = accepted
+		if err := mc.step(t, sched.Comm[t], accepted); err != nil {
+			return nil, fmt.Errorf("offline: schedule replay failed at slot %d: %w", t, err)
+		}
+	}
+	return sched, nil
+}

@@ -1,0 +1,199 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Clause is a disjunction of literals. Literal +v means variable v is true,
+// -v means variable v is false; variables are 1-indexed.
+type Clause []int
+
+// CNF is a propositional formula in conjunctive normal form.
+type CNF struct {
+	// NumVars is the number of variables (1..NumVars).
+	NumVars int
+	// Clauses are the conjuncts.
+	Clauses []Clause
+}
+
+// Validate checks literal ranges and clause non-emptiness.
+func (f *CNF) Validate() error {
+	if f.NumVars <= 0 {
+		return fmt.Errorf("offline: CNF with %d variables", f.NumVars)
+	}
+	if len(f.Clauses) == 0 {
+		return fmt.Errorf("offline: CNF with no clauses")
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("offline: clause %d is empty", i)
+		}
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v == 0 || v > f.NumVars {
+				return fmt.Errorf("offline: clause %d has literal %d out of range", i, lit)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval reports whether assignment (1-indexed; index 0 unused) satisfies f.
+func (f *CNF) Eval(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if (lit > 0) == assignment[v] {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + first-unassigned
+// branching). It returns a satisfying assignment (1-indexed) when one exists.
+func (f *CNF) Solve() ([]bool, bool) {
+	if err := f.Validate(); err != nil {
+		return nil, false
+	}
+	const (
+		unset = 0
+		tru   = 1
+		fls   = 2
+	)
+	assign := make([]int8, f.NumVars+1)
+
+	litVal := func(lit int) int8 {
+		v := lit
+		if v < 0 {
+			v = -v
+		}
+		a := assign[v]
+		if a == unset {
+			return unset
+		}
+		if (lit > 0) == (a == tru) {
+			return tru
+		}
+		return fls
+	}
+
+	var dpll func() bool
+	dpll = func() bool {
+		// Unit propagation to fixpoint.
+		var trail []int // variables set during this propagation + branch
+		undo := func() {
+			for _, v := range trail {
+				assign[v] = unset
+			}
+		}
+		for {
+			progress := false
+			for _, c := range f.Clauses {
+				unassigned := 0
+				var unit int
+				sat := false
+				for _, lit := range c {
+					switch litVal(lit) {
+					case tru:
+						sat = true
+					case unset:
+						unassigned++
+						unit = lit
+					}
+					if sat {
+						break
+					}
+				}
+				if sat {
+					continue
+				}
+				if unassigned == 0 {
+					undo()
+					return false // conflict
+				}
+				if unassigned == 1 {
+					v := unit
+					if v < 0 {
+						v = -v
+					}
+					if unit > 0 {
+						assign[v] = tru
+					} else {
+						assign[v] = fls
+					}
+					trail = append(trail, v)
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		// Find a branching variable.
+		branch := 0
+		for v := 1; v <= f.NumVars; v++ {
+			if assign[v] == unset {
+				branch = v
+				break
+			}
+		}
+		if branch == 0 {
+			return true // complete assignment, no conflicts
+		}
+		for _, val := range []int8{tru, fls} {
+			assign[branch] = val
+			if dpll() {
+				return true
+			}
+			assign[branch] = unset
+		}
+		undo()
+		return false
+	}
+
+	if !dpll() {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == tru
+	}
+	return out, true
+}
+
+// Random3SAT draws a random 3SAT formula with n variables and m clauses
+// (each clause has 3 literals over distinct variables).
+func Random3SAT(r *rng.PCG, n, m int) *CNF {
+	if n < 3 {
+		panic("offline: Random3SAT needs n >= 3")
+	}
+	f := &CNF{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := r.Perm(n)[:3]
+		c := make(Clause, 3)
+		for j, v := range vars {
+			lit := v + 1
+			if r.Bernoulli(0.5) {
+				lit = -lit
+			}
+			c[j] = lit
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// GanttRow is one labelled timeline of single-character cells.
+type GanttRow struct {
+	// Label names the row (e.g. "P3 w=7").
+	Label string
+	// Cells holds one character per slot.
+	Cells []byte
+}
+
+// Gantt renders per-worker timelines in fixed-width chunks with a slot
+// ruler, wrapping long runs across multiple bands. legend is printed once at
+// the end (pass a short explanation of the cell characters).
+func Gantt(w io.Writer, rows []GanttRow, width int, legend string) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("report: no gantt rows")
+	}
+	if width <= 0 {
+		width = 100
+	}
+	n := 0
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Cells) > n {
+			n = len(r.Cells)
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("report: empty gantt rows")
+	}
+	for start := 0; start < n; start += width {
+		end := start + width
+		if end > n {
+			end = n
+		}
+		// Ruler: mark every 10th slot.
+		var ruler strings.Builder
+		for s := start; s < end; s++ {
+			switch {
+			case s%50 == 0:
+				ruler.WriteByte('|')
+			case s%10 == 0:
+				ruler.WriteByte('+')
+			default:
+				ruler.WriteByte(' ')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%*s  %s slot %d\n", labelW, "", ruler.String(), start); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			var cells string
+			if start < len(r.Cells) {
+				e := end
+				if e > len(r.Cells) {
+					e = len(r.Cells)
+				}
+				cells = string(r.Cells[start:e])
+			}
+			if _, err := fmt.Fprintf(w, "%*s  %s\n", labelW, r.Label, cells); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if legend != "" {
+		if _, err := fmt.Fprintf(w, "legend: %s\n", legend); err != nil {
+			return err
+		}
+	}
+	return nil
+}

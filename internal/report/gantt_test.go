@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersBandsAndLegend(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "P0", Cells: []byte(strings.Repeat("CP.", 50))}, // 150 cells
+		{Label: "P1", Cells: []byte(strings.Repeat("X", 30))},   // shorter row
+	}
+	var b strings.Builder
+	if err := Gantt(&b, rows, 100, "test legend"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "slot 0") || !strings.Contains(out, "slot 100") {
+		t.Fatalf("missing band headers:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: test legend") {
+		t.Fatal("missing legend")
+	}
+	if strings.Count(out, "P0") != 2 || strings.Count(out, "P1") != 2 {
+		t.Fatalf("rows should appear once per band:\n%s", out)
+	}
+}
+
+func TestGanttErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Gantt(&b, nil, 80, ""); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+	if err := Gantt(&b, []GanttRow{{Label: "x"}}, 80, ""); err == nil {
+		t.Fatal("zero-length rows accepted")
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	rows := []GanttRow{{Label: "a", Cells: []byte("....")}}
+	var b strings.Builder
+	if err := Gantt(&b, rows, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}

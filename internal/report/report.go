@@ -1,0 +1,188 @@
+// Package report renders experiment results as text tables, CSV files and
+// ASCII line plots (for regenerating the paper's figure without external
+// plotting dependencies).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits headers and rows as RFC-4180-ish CSV (quotes only when
+// needed).
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	emit := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := emit(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	// Name labels the line in the legend.
+	Name string
+	// Y holds one value per X position (NaN = missing).
+	Y []float64
+}
+
+// AsciiPlot renders series against shared x labels as a crude line chart:
+// one character column per x position, height rows, a legend of marker
+// characters. It is deliberately dependency-free; CSV output accompanies it
+// for real plotting.
+func AsciiPlot(w io.Writer, title string, xLabels []string, series []Series, height int) error {
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: no data to plot")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	markers := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xLabels)*4))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for xi, y := range s.Y {
+			if math.IsNaN(y) || xi >= len(xLabels) {
+				continue
+			}
+			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			grid[row][xi*4+1] = mk
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for r, rowBytes := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.2f |%s\n", yVal, strings.TrimRight(string(rowBytes), " ")); err != nil {
+			return err
+		}
+	}
+	var xAxis strings.Builder
+	for _, lbl := range xLabels {
+		xAxis.WriteString(fmt.Sprintf("%-4s", lbl))
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", len(xLabels)*4)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s%s\n", "", xAxis.String()); err != nil {
+		return err
+	}
+	// Legend sorted by series order.
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	sort.Strings(legend)
+	_, err := fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, " "))
+	return err
+}

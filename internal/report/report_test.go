@@ -1,0 +1,97 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Algorithm", "Average dfb", "#wins")
+	tb.AddRow("emct", "4.77", "80320")
+	tb.AddRow("random", "47.87", "45")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Algorithm") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "emct") || !strings.Contains(lines[2], "80320") {
+		t.Fatalf("row line %q", lines[2])
+	}
+	// Columns must align: "Average dfb" column starts at the same offset.
+	idx := strings.Index(lines[0], "Average")
+	if !strings.HasPrefix(lines[2][idx:], "4.77") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		[]string{"name", "value"},
+		[][]string{{"plain", "1"}, {"with,comma", `has "quote"`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,value\nplain,1\n\"with,comma\",\"has \"\"quote\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	var b strings.Builder
+	err := AsciiPlot(&b, "dfb vs wmin",
+		[]string{"1", "2", "3"},
+		[]Series{
+			{Name: "mct", Y: []float64{1, 5, 9}},
+			{Name: "emct", Y: []float64{2, 3, math.NaN()}},
+		}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "dfb vs wmin") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "mct") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	grid := out[:strings.Index(out, "legend:")]
+	if strings.Count(grid, "*") != 3 {
+		t.Fatalf("series 1 should plot 3 markers:\n%s", out)
+	}
+	if n := strings.Count(grid, "o"); n < 1 || n > 2 {
+		t.Fatalf("series 2 should plot up to 2 markers (NaN skipped), got %d:\n%s", n, out)
+	}
+}
+
+func TestAsciiPlotNoData(t *testing.T) {
+	var b strings.Builder
+	err := AsciiPlot(&b, "empty", []string{"1"}, []Series{{Name: "x", Y: []float64{math.NaN()}}}, 5)
+	if err == nil {
+		t.Fatal("plotting no data did not error")
+	}
+}
+
+func TestAsciiPlotFlatLine(t *testing.T) {
+	var b strings.Builder
+	err := AsciiPlot(&b, "flat", []string{"1", "2"}, []Series{{Name: "x", Y: []float64{3, 3}}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package rng
+
+import "math"
+
+// This file implements the continuous distributions used to synthesize
+// non-Markovian availability traces (the paper's future-work direction, and
+// our stand-in for Failure Trace Archive data). All samplers are inverse-CDF
+// or Box-Muller based so that they consume a bounded, deterministic number of
+// uniforms per draw, keeping replays exactly reproducible.
+
+// Exponential returns a sample from Exp(rate); mean 1/rate.
+// It panics if rate <= 0.
+func (p *PCG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	// Inverse CDF; 1-U avoids log(0).
+	return -math.Log(1-p.Float64()) / rate
+}
+
+// Weibull returns a sample from Weibull(shape, scale).
+// Shape < 1 yields heavy-tailed sojourns typical of desktop-grid
+// availability intervals. It panics if shape or scale is non-positive.
+func (p *PCG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	return scale * math.Pow(-math.Log(1-p.Float64()), 1/shape)
+}
+
+// Pareto returns a sample from a Pareto distribution with minimum xm and
+// tail index alpha. It panics if xm or alpha is non-positive.
+func (p *PCG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm / math.Pow(1-p.Float64(), 1/alpha)
+}
+
+// Normal returns a sample from N(mu, sigma^2) via Box-Muller.
+// It panics if sigma < 0.
+func (p *PCG) Normal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic("rng: Normal with negative sigma")
+	}
+	// Box-Muller; use (0,1] for the radial uniform to avoid log(0).
+	u := 1 - p.Float64()
+	v := p.Float64()
+	return mu + sigma*math.Sqrt(-2*math.Log(u))*math.Cos(2*math.Pi*v)
+}
+
+// LogNormal returns a sample whose logarithm is N(mu, sigma^2).
+func (p *PCG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(p.Normal(mu, sigma))
+}
+
+// Bernoulli returns true with probability prob (clamped to [0,1]).
+func (p *PCG) Bernoulli(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return p.Float64() < prob
+}
+
+// Categorical returns an index sampled according to the given non-negative
+// weights. It panics if weights is empty or sums to zero.
+func (p *PCG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Categorical with negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("rng: Categorical with no mass")
+	}
+	x := p.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

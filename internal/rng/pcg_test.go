@@ -1,0 +1,348 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("sibling splits produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	mk := func() (*PCG, *PCG) {
+		p := New(99)
+		return p.Split(), p.Split()
+	}
+	a1, a2 := mk()
+	b1, b2 := mk()
+	for i := 0; i < 200; i++ {
+		if a1.Uint64() != b1.Uint64() || a2.Uint64() != b2.Uint64() {
+			t.Fatalf("split streams not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(3)
+	for i := 0; i < 10000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(4)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	p := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := p.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(%d)=%d occurred %d times; badly non-uniform", 7, v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	p := New(6)
+	for i := 0; i < 1000; i++ {
+		v := p.IntRange(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntRange out of [3,9]: %d", v)
+		}
+	}
+	if v := p.IntRange(5, 5); v != 5 {
+		t.Fatalf("degenerate IntRange = %d, want 5", v)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 1000; i++ {
+		v := p.UniformRange(0.90, 0.99)
+		if v < 0.90 || v >= 0.99 {
+			t.Fatalf("UniformRange out of [0.90,0.99): %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + p.Intn(40)
+		perm := p.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid permutation %v", perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	p := New(10)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Exponential(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	// Weibull(shape=1, scale=s) is Exp(1/s).
+	p := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Weibull(1, 3)
+	}
+	mean := sum / n
+	if math.Abs(mean-3) > 0.06 {
+		t.Fatalf("Weibull(1,3) mean %v, want ~3", mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	p := New(12)
+	for i := 0; i < 10000; i++ {
+		if v := p.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto sample %v below xm=2", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	// Mean of Pareto(xm, alpha) is alpha*xm/(alpha-1) for alpha > 1.
+	p := New(13)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Pareto(1, 3)
+	}
+	mean := sum / n
+	if math.Abs(mean-1.5) > 0.02 {
+		t.Fatalf("Pareto(1,3) mean %v, want ~1.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	p := New(14)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := p.Normal(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-5) > 0.03 {
+		t.Fatalf("Normal mean %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Fatalf("Normal variance %v, want ~4", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	p := New(15)
+	for i := 0; i < 10000; i++ {
+		if v := p.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal sample %v not positive", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	p := New(16)
+	for i := 0; i < 100; i++ {
+		if p.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !p.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	p := New(17)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if p.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func TestCategoricalRespectWeights(t *testing.T) {
+	p := New(18)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[p.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestQuickUint64Bits(t *testing.T) {
+	// Property: output bits are roughly balanced for any seed.
+	f := func(seed uint64) bool {
+		p := New(seed)
+		ones := 0
+		const draws = 64
+		for i := 0; i < draws; i++ {
+			v := p.Uint64()
+			for v != 0 {
+				ones += int(v & 1)
+				v >>= 1
+			}
+		}
+		// 64*64/2 = 2048 expected; allow wide slack.
+		return ones > 1600 && ones < 2500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		p := New(seed)
+		for i := 0; i < 20; i++ {
+			v := p.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference code.
+	s := SplitMix64(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	p := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Float64()
+	}
+}

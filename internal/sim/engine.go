@@ -1,0 +1,559 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/avail"
+	"repro/internal/platform"
+)
+
+// Config assembles everything one simulation run needs.
+type Config struct {
+	// Platform is the static processor description.
+	Platform *platform.Platform
+	// Params are the application/communication parameters.
+	Params platform.Params
+	// Procs supplies the actual availability trajectory of each processor
+	// (same order as Platform.Processors). The trajectories may follow the
+	// processors' declared Markov models, or deliberately deviate from them
+	// (trace-driven and semi-Markov experiments).
+	Procs []avail.Process
+	// Scheduler is the heuristic under test.
+	Scheduler Scheduler
+	// Observer, when non-nil, is invoked after every slot.
+	Observer func(*SlotReport)
+	// OnEvent, when non-nil, receives engine events (verbose timelines).
+	OnEvent func(Event)
+}
+
+// validate checks the configuration.
+func (c *Config) validate() error {
+	if c.Platform == nil {
+		return fmt.Errorf("sim: nil platform")
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if len(c.Procs) != c.Platform.P() {
+		return fmt.Errorf("sim: %d availability processes for %d processors",
+			len(c.Procs), c.Platform.P())
+	}
+	for i, p := range c.Procs {
+		if p == nil {
+			return fmt.Errorf("sim: nil availability process %d", i)
+		}
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("sim: nil scheduler")
+	}
+	return nil
+}
+
+// taskState tracks one task of the current iteration.
+type taskState struct {
+	completed bool
+	copies    int // live copies currently bound to workers
+}
+
+// plannedAssignment is one scheduler decision awaiting materialization.
+type plannedAssignment struct {
+	task    int
+	worker  int
+	replica int // 0 = original
+}
+
+// engine is the mutable run state.
+type engine struct {
+	cfg     *Config
+	params  *platform.Params
+	workers []*workerState
+	tasks   []taskState
+	slot    int
+	iter    int
+	stats   Stats
+	ends    []int
+	// nextReplica numbers replica copies per task within an iteration.
+	nextReplica []int
+	// scratch buffers reused across slots.
+	view     View
+	eligible []int
+	plans    []plannedAssignment
+}
+
+// Run executes one simulation and returns its result. The error reports
+// configuration problems or scheduler protocol violations; volatile-platform
+// conditions (even pathological ones) are not errors.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:         &cfg,
+		params:      &cfg.Params,
+		workers:     make([]*workerState, cfg.Platform.P()),
+		tasks:       make([]taskState, cfg.Params.M),
+		nextReplica: make([]int, cfg.Params.M),
+	}
+	for i, p := range cfg.Platform.Processors {
+		e.workers[i] = &workerState{proc: p, state: avail.Down}
+	}
+	e.view = View{
+		Params: e.params,
+		Procs:  make([]ProcView, len(e.workers)),
+	}
+
+	maxSlots := cfg.Params.EffectiveMaxSlots()
+	for e.slot = 0; e.slot < maxSlots; e.slot++ {
+		if err := e.step(); err != nil {
+			return nil, err
+		}
+		if e.iter >= e.params.Iterations {
+			return &Result{
+				Completed:     true,
+				Makespan:      e.slot + 1,
+				IterationEnds: e.ends,
+				Stats:         e.stats,
+			}, nil
+		}
+	}
+	return &Result{
+		Completed:     false,
+		Makespan:      maxSlots,
+		IterationEnds: e.ends,
+		Stats:         e.stats,
+	}, nil
+}
+
+// step executes one time slot.
+func (e *engine) step() error {
+	e.advanceStates()
+	if err := e.schedule(); err != nil {
+		return err
+	}
+	transfers := e.allocateChannels()
+	computing := e.compute()
+	e.finishSlot()
+
+	if e.cfg.Observer != nil {
+		up := 0
+		for _, w := range e.workers {
+			if w.state == avail.Up {
+				up++
+			}
+		}
+		e.cfg.Observer(&SlotReport{
+			Slot:             e.slot,
+			Iteration:        e.iter,
+			TransfersUsed:    transfers,
+			UpWorkers:        up,
+			ComputingWorkers: computing,
+			TasksCompleted:   e.stats.TasksCompleted,
+		})
+	}
+	return nil
+}
+
+// advanceStates samples this slot's availability states and applies crash
+// consequences.
+func (e *engine) advanceStates() {
+	for i, w := range e.workers {
+		next := e.cfg.Procs[i].Next()
+		if next == avail.Down && w.state != avail.Down {
+			e.stats.Crashes++
+			e.stats.WastedProgramSlots += int64(w.progRecv)
+			e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
+			for _, c := range w.crash() {
+				e.tasks[c.task].copies--
+				e.wasteCopy(c)
+			}
+		}
+		w.state = next
+	}
+}
+
+// wasteCopy accounts a killed/cancelled copy's sunk work.
+func (e *engine) wasteCopy(c *copyState) {
+	e.stats.WastedComputeSlots += int64(c.computeDone)
+	e.stats.WastedDataSlots += int64(c.dataRecv)
+}
+
+// schedule runs one scheduler round: it applies proactive cancellations
+// (when the scheduler requests them), then plans processors for all unbegun
+// original tasks, then for replicas when UP processors outnumber the
+// remaining tasks (Section 6.1).
+func (e *engine) schedule() error {
+	e.plans = e.plans[:0]
+	e.buildView()
+
+	if canceller, ok := e.cfg.Scheduler.(Canceller); ok {
+		if cancels := canceller.Cancel(&e.view); len(cancels) > 0 {
+			for _, q := range cancels {
+				if q < 0 || q >= len(e.workers) {
+					return fmt.Errorf("sim: scheduler %q cancelled invalid processor %d",
+						e.cfg.Scheduler.Name(), q)
+				}
+				w := e.workers[q]
+				for _, dropped := range w.dropAllCopies() {
+					e.tasks[dropped.task].copies--
+					e.wasteCopy(dropped)
+					e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: q,
+						Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+				}
+			}
+			e.buildView() // cancellations changed pipeline state
+		}
+	}
+
+	remaining := e.view.TasksRemaining
+	if remaining == 0 {
+		return nil
+	}
+
+	// Eligible processors for originals: every UP processor.
+	up := e.eligible[:0]
+	for i, w := range e.workers {
+		if w.state == avail.Up {
+			up = append(up, i)
+		}
+	}
+	e.eligible = up
+	if len(up) == 0 {
+		return nil
+	}
+
+	rs := RoundState{NQ: make([]int, len(e.workers))}
+	// n_active measures how many workers compete for the master's card
+	// (Section 6.3.1: "the average slowdown encountered by a worker when
+	// communicating with the master"): the processors already engaged in
+	// begun work, plus — via notePick — each processor newly put to work
+	// during this round.
+	for _, w := range e.workers {
+		if w.busy() {
+			rs.NActive++
+		}
+	}
+
+	// Originals: every incomplete task with no live copy. Planned copies
+	// are tracked so same-round replication (below) respects the cap.
+	plannedCopies := make(map[int]int)
+	for t := range e.tasks {
+		if e.tasks[t].completed || e.tasks[t].copies > 0 {
+			continue
+		}
+		ti := TaskInfo{Task: t, Replica: false, Copies: 0}
+		pick := e.cfg.Scheduler.Pick(&e.view, up, &rs, ti)
+		if pick == Decline {
+			continue
+		}
+		if err := e.notePick(&rs, pick, up); err != nil {
+			return err
+		}
+		e.plans = append(e.plans, plannedAssignment{task: t, worker: pick, replica: 0})
+		plannedCopies[t]++
+	}
+
+	// Replication (paper rule): replicate only when strictly more UP
+	// processors than remaining tasks; each task carries at most
+	// 1 + MaxReplicas copies. Idle processors (no begun work, nothing
+	// planned this round) host the replicas; tasks with the fewest copies
+	// are served first.
+	if len(up) <= remaining || e.params.MaxReplicas == 0 {
+		return nil
+	}
+	idle := make([]int, 0, len(up))
+	for _, q := range up {
+		if !e.workers[q].busy() && rs.NQ[q] == 0 {
+			idle = append(idle, q)
+		}
+	}
+	if len(idle) == 0 {
+		return nil
+	}
+	// A task is replicable once it has at least one live or planned copy
+	// (so replicas may launch in the same round as the original) and is
+	// below the copy cap. Replicas go to the least-covered tasks first,
+	// until idle processors or replication capacity run out.
+	copyCap := 1 + e.params.MaxReplicas
+	for len(idle) > 0 {
+		best, bestCopies := -1, copyCap
+		for t := range e.tasks {
+			if e.tasks[t].completed {
+				continue
+			}
+			total := e.tasks[t].copies + plannedCopies[t]
+			if total >= 1 && total < bestCopies {
+				best, bestCopies = t, total
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ti := TaskInfo{Task: best, Replica: true, Copies: bestCopies}
+		pick := e.cfg.Scheduler.Pick(&e.view, idle, &rs, ti)
+		if pick == Decline {
+			break // a scheduler that declines replicas declines them all
+		}
+		if err := e.notePick(&rs, pick, idle); err != nil {
+			return err
+		}
+		e.plans = append(e.plans, plannedAssignment{task: best, worker: pick, replica: -1})
+		plannedCopies[best]++
+		// The chosen processor is no longer idle.
+		for i, q := range idle {
+			if q == pick {
+				idle = append(idle[:i], idle[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// notePick validates a scheduler pick and updates the round state.
+func (e *engine) notePick(rs *RoundState, pick int, eligible []int) error {
+	ok := false
+	for _, q := range eligible {
+		if q == pick {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("sim: scheduler %q picked ineligible processor %d",
+			e.cfg.Scheduler.Name(), pick)
+	}
+	if rs.NQ[pick] == 0 && !e.workers[pick].busy() {
+		rs.NActive++
+	}
+	rs.NQ[pick]++
+	return nil
+}
+
+// buildView refreshes the scheduler snapshot.
+func (e *engine) buildView() {
+	e.view.Slot = e.slot
+	e.view.Iteration = e.iter
+	remaining := 0
+	for t := range e.tasks {
+		if !e.tasks[t].completed {
+			remaining++
+		}
+	}
+	e.view.TasksRemaining = remaining
+	tprog := e.params.Tprog
+	for i, w := range e.workers {
+		pv := &e.view.Procs[i]
+		pv.ID = i
+		pv.W = w.proc.W
+		pv.Model = w.proc.Avail
+		pv.State = w.state
+		pv.RemProgram = w.remProgram(tprog)
+		pv.HasComputing = w.computing != nil
+		pv.HasIncoming = w.incoming != nil
+		if w.computing != nil {
+			pv.ComputingRem = w.proc.W - w.computing.computeDone
+		} else {
+			pv.ComputingRem = 0
+		}
+		if w.incoming != nil {
+			pv.IncomingRem = e.params.Tdata - w.incoming.dataRecv
+		} else {
+			pv.IncomingRem = 0
+		}
+	}
+}
+
+// allocateChannels grants the ncom channels: first to in-flight transfer
+// chains (originals before replicas), then to new planned assignments in
+// scheduler order. It returns the number of channels used.
+func (e *engine) allocateChannels() int {
+	channels := e.params.Ncom
+	used := 0
+	tprog, tdata := e.params.Tprog, e.params.Tdata
+
+	// Continuations: bound chains on UP workers needing slots.
+	type cont struct{ worker, replica, task int }
+	var conts []cont
+	for i, w := range e.workers {
+		if w.state == avail.Up && w.needsTransfer(tprog) {
+			conts = append(conts, cont{worker: i, replica: w.incoming.replica, task: w.incoming.task})
+		}
+	}
+	sort.Slice(conts, func(a, b int) bool {
+		ra, rb := conts[a].replica != 0, conts[b].replica != 0
+		if ra != rb {
+			return !ra // originals first
+		}
+		return conts[a].worker < conts[b].worker
+	})
+	for _, ct := range conts {
+		if used >= channels {
+			break
+		}
+		w := e.workers[ct.worker]
+		progSlot := !w.hasProgram(tprog)
+		w.advanceTransfer(tprog, tdata)
+		used++
+		e.stats.ChannelSlots++
+		if progSlot {
+			e.stats.ProgramSlots++
+		}
+	}
+
+	// New materializations, in plan order (originals were planned first).
+	for _, pl := range e.plans {
+		w := e.workers[pl.worker]
+		if w.state != avail.Up || w.incoming != nil {
+			continue // pipeline occupied (an earlier plan took the slot)
+		}
+		if w.computing != nil && pl.replica == 0 && w.computing.task == pl.task {
+			continue // already running here (defensive; cannot happen for unbegun tasks)
+		}
+		needProg := !w.hasProgram(tprog)
+		needData := tdata > 0
+		if !needProg && !needData {
+			// Zero-cost image: bind and complete instantly, no channel.
+			e.bindCopy(w, pl)
+			w.incoming.dataDone = true
+			continue
+		}
+		if used >= channels {
+			continue // plan evaporates; re-planned next slot
+		}
+		e.bindCopy(w, pl)
+		progSlot := needProg
+		w.advanceTransfer(tprog, tdata)
+		used++
+		e.stats.ChannelSlots++
+		if progSlot {
+			e.stats.ProgramSlots++
+		}
+	}
+
+	if used > e.stats.PeakTransfers {
+		e.stats.PeakTransfers = used
+	}
+	return used
+}
+
+// bindCopy attaches a planned copy to a worker and updates bookkeeping.
+func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
+	replica := pl.replica
+	if replica != 0 {
+		e.nextReplica[pl.task]++
+		replica = e.nextReplica[pl.task]
+	}
+	w.incoming = &copyState{task: pl.task, replica: replica}
+	e.tasks[pl.task].copies++
+	e.stats.CopiesStarted++
+	kind := EvDataStart
+	if !w.hasProgram(e.params.Tprog) {
+		kind = EvProgramStart
+	}
+	if replica != 0 {
+		e.stats.ReplicasStarted++
+	}
+	e.emit(Event{Slot: e.slot, Kind: kind, Worker: w.proc.ID, Task: pl.task, Replica: replica, Iteration: e.iter})
+}
+
+// compute advances every eligible computation by one slot and returns the
+// number of workers that computed.
+func (e *engine) compute() int {
+	computing := 0
+	for _, w := range e.workers {
+		if w.state != avail.Up || w.computing == nil || !w.hasProgram(e.params.Tprog) {
+			continue
+		}
+		if w.computing.computeDone == 0 {
+			e.emit(Event{Slot: e.slot, Kind: EvComputeStart, Worker: w.proc.ID,
+				Task: w.computing.task, Replica: w.computing.replica, Iteration: e.iter})
+		}
+		w.computing.computeDone++
+		e.stats.ComputeSlots++
+		computing++
+	}
+	return computing
+}
+
+// finishSlot records completions, cancels surviving copies of completed
+// tasks, promotes data-complete prefetches, and handles iteration barriers.
+func (e *engine) finishSlot() {
+	// Completions.
+	for _, w := range e.workers {
+		c := w.computing
+		if c == nil || c.computeDone < w.proc.W {
+			continue
+		}
+		w.computing = nil
+		e.tasks[c.task].copies--
+		if e.tasks[c.task].completed {
+			// A sibling copy finished earlier in this same loop; this work
+			// is redundant.
+			e.wasteCopy(c)
+			continue
+		}
+		e.tasks[c.task].completed = true
+		e.stats.TasksCompleted++
+		e.emit(Event{Slot: e.slot, Kind: EvTaskComplete, Worker: w.proc.ID,
+			Task: c.task, Replica: c.replica, Iteration: e.iter})
+		// Cancel all other live copies of this task.
+		for _, other := range e.workers {
+			if other == w {
+				continue
+			}
+			for _, dropped := range other.dropCopiesOf(c.task) {
+				e.tasks[c.task].copies--
+				e.wasteCopy(dropped)
+				e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: other.proc.ID,
+					Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+			}
+		}
+	}
+
+	// Promotions: a data-complete prefetch starts computing next slot.
+	for _, w := range e.workers {
+		w.promote()
+	}
+
+	// Iteration barrier.
+	done := true
+	for t := range e.tasks {
+		if !e.tasks[t].completed {
+			done = false
+			break
+		}
+	}
+	if !done {
+		return
+	}
+	e.emit(Event{Slot: e.slot, Kind: EvIterationDone, Worker: -1, Task: -1, Replica: -1, Iteration: e.iter})
+	e.ends = append(e.ends, e.slot+1)
+	e.iter++
+	if e.iter >= e.params.Iterations {
+		return
+	}
+	// Reset tasks for the next iteration. Task data is iteration-specific:
+	// every pipeline entry is discarded; programs are kept.
+	for t := range e.tasks {
+		e.tasks[t] = taskState{}
+		e.nextReplica[t] = 0
+	}
+	for _, w := range e.workers {
+		for _, dropped := range w.dropAllCopies() {
+			e.wasteCopy(dropped)
+			e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: w.proc.ID,
+				Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+		}
+	}
+}
+
+// emit forwards an event to the configured sink.
+func (e *engine) emit(ev Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim implements the discrete-time (time-slot) simulator for
+// master-worker iterative applications on volatile processors, following the
+// model of Section 3 of the paper:
+//
+//   - an iteration consists of m equal tasks, synchronized at the end;
+//   - every processor is, per slot, UP, RECLAIMED or DOWN;
+//   - a newly enrolled worker first downloads the program (Tprog slots),
+//     then per-task input data (Tdata slots); a worker may prefetch the data
+//     of at most one task beyond the one it is computing;
+//   - the master sustains at most ncom simultaneous transfers (bounded
+//     multi-port model);
+//   - RECLAIMED suspends a worker's transfers and computation (resumed
+//     intact); DOWN loses program, data and partial computation;
+//   - tasks may be replicated (bounded number of extra copies) when UP
+//     processors outnumber the remaining tasks; completing any copy cancels
+//     the others.
+//
+// Scheduling decisions are delegated to a Scheduler (the heuristics of
+// Section 6 live in internal/core). The engine consults the scheduler every
+// slot and materializes as many of its decisions as bandwidth and pipeline
+// capacity allow, which realizes the paper's "dynamic" heuristic class:
+// begun work is never abandoned, everything else is re-planned from scratch
+// each slot.
+package sim
+
+import (
+	"repro/internal/avail"
+	"repro/internal/platform"
+)
+
+// ProcView is the scheduler-visible snapshot of one processor at the start
+// of a slot, carrying everything the heuristics of Section 6 consume.
+type ProcView struct {
+	// ID is the processor index.
+	ID int
+	// W is w_q, the UP slots needed per task.
+	W int
+	// Model is the availability model the master believes the processor
+	// follows (used by the informed heuristics).
+	Model *avail.Markov3
+	// State is the availability state in the current slot.
+	State avail.State
+	// RemProgram is the number of program slots still to be received
+	// (Tprog if the worker holds nothing, 0 if it holds the full program).
+	RemProgram int
+	// HasComputing reports whether a task is currently being computed.
+	HasComputing bool
+	// ComputingRem is the remaining UP compute slots of that task.
+	ComputingRem int
+	// HasIncoming reports whether a task's data is bound to this worker
+	// (transferring, or waiting to resume).
+	HasIncoming bool
+	// IncomingRem is the remaining data slots of the incoming task.
+	IncomingRem int
+}
+
+// Busy reports whether the worker has any begun, unfinished work.
+func (pv *ProcView) Busy() bool { return pv.HasComputing || pv.HasIncoming }
+
+// View is the scheduler's per-slot snapshot of the whole platform.
+type View struct {
+	// Slot is the current time slot (0-based).
+	Slot int
+	// Iteration is the current iteration index (0-based). Task indices are
+	// only meaningful within one iteration.
+	Iteration int
+	// Params are the run parameters (m, ncom, Tprog, Tdata, ...).
+	Params *platform.Params
+	// Procs has one entry per processor, indexed by processor ID.
+	Procs []ProcView
+	// TasksRemaining is the number of tasks of the current iteration not yet
+	// completed.
+	TasksRemaining int
+}
+
+// RoundState accumulates the decisions already taken during one scheduling
+// round (one slot). The greedy heuristics need n_q — how many of the tasks
+// being distributed have already been piled on each processor — and the
+// contention-corrected variants need n_active, the number of processors
+// newly put to work this round (Section 6.3.1).
+type RoundState struct {
+	// NQ[q] is the number of tasks assigned to processor q in this round.
+	NQ []int
+	// NActive counts the processors competing for the master's bandwidth:
+	// those already engaged in begun work at the start of the round, plus
+	// each processor newly put to work by an assignment of this round.
+	NActive int
+}
+
+// TaskInfo describes the task for which the scheduler must pick a processor.
+type TaskInfo struct {
+	// Task is the task index within the current iteration, in [0, m).
+	Task int
+	// Replica is true when the pick is for an extra copy of an
+	// already-running task rather than for the original.
+	Replica bool
+	// Copies is the number of live copies the task already has.
+	Copies int
+}
+
+// Decline is the Pick return value meaning "leave this task unassigned for
+// this slot". The dynamic heuristics never decline; the passive class
+// (Section 6.1) declines while it waits for a RECLAIMED processor it has
+// committed to.
+const Decline = -1
+
+// Scheduler selects processors for tasks. Implementations may keep internal
+// randomness but must be deterministic given their construction seed.
+type Scheduler interface {
+	// Name identifies the heuristic (e.g. "emct*").
+	Name() string
+	// Pick returns the ID of the processor (from eligible, which is never
+	// empty) that should receive the given task, or Decline to leave the
+	// task unassigned this slot. The engine invokes Pick once per task per
+	// slot, originals first, then replicas; rs reflects all picks already
+	// made this round.
+	Pick(v *View, eligible []int, rs *RoundState, ti TaskInfo) int
+}
+
+// Canceller is the optional interface of the paper's "proactive" heuristic
+// class (Section 6.1): a scheduler that may aggressively terminate begun
+// work. The engine consults Cancel at the start of every scheduling round;
+// each returned processor has its pipeline (computing task and/or incoming
+// transfer) aborted, the affected tasks returning to the unassigned pool.
+// Partial work and received data are lost, exactly as if the scheduler had
+// un-enrolled the processor (Section 3.3).
+type Canceller interface {
+	// Cancel returns the IDs of processors whose begun work to abort this
+	// slot. IDs without begun work are ignored.
+	Cancel(v *View) []int
+}

@@ -1,0 +1,167 @@
+// Package stats implements the evaluation metrics of Section 7: the
+// degradation-from-best (dfb) of each heuristic on each problem instance,
+// win counting, and the aggregation used by Table 2, Table 3 and Figure 2,
+// plus small descriptive-statistics helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DFB returns the degradation from best in percent: the relative distance of
+// a makespan from the best makespan observed on the same instance.
+// A value of 0 means the heuristic was (tied-)best.
+func DFB(makespan, best int) float64 {
+	if best <= 0 {
+		return 0
+	}
+	return 100 * float64(makespan-best) / float64(best)
+}
+
+// InstanceResult is the makespan of every heuristic on one problem instance
+// (one scenario × one trial).
+type InstanceResult struct {
+	// Makespans maps heuristic name to achieved makespan (slots).
+	Makespans map[string]int
+	// Censored marks heuristics whose run hit the slot cap.
+	Censored map[string]bool
+}
+
+// Best returns the smallest uncensored makespan of the instance; ok is false
+// when every heuristic was censored.
+func (ir *InstanceResult) Best() (best int, ok bool) {
+	for name, ms := range ir.Makespans {
+		if ir.Censored[name] {
+			continue
+		}
+		if !ok || ms < best {
+			best, ok = ms, true
+		}
+	}
+	return best, ok
+}
+
+// Aggregator accumulates per-heuristic dfb values and win counts over many
+// instances, as the paper's Table 2 does.
+type Aggregator struct {
+	dfbs map[string][]float64
+	wins map[string]int
+	n    int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{dfbs: make(map[string][]float64), wins: make(map[string]int)}
+}
+
+// Add folds one instance into the aggregate. Censored heuristics receive the
+// dfb of the slot cap (a large penalty) and never win. Instances where every
+// heuristic is censored are dropped.
+func (a *Aggregator) Add(ir *InstanceResult) {
+	best, ok := ir.Best()
+	if !ok {
+		return
+	}
+	a.n++
+	for name, ms := range ir.Makespans {
+		a.dfbs[name] = append(a.dfbs[name], DFB(ms, best))
+		if !ir.Censored[name] && ms == best {
+			a.wins[name]++
+		}
+	}
+}
+
+// Instances reports the number of aggregated instances.
+func (a *Aggregator) Instances() int { return a.n }
+
+// Row is one line of a Table 2-style report.
+type Row struct {
+	// Name is the heuristic.
+	Name string
+	// AvgDFB is the mean degradation from best, in percent.
+	AvgDFB float64
+	// Wins counts the instances where the heuristic was (tied-)best.
+	Wins int
+}
+
+// Rows returns the aggregate sorted by increasing average dfb
+// (best heuristic first), matching the layout of Table 2.
+func (a *Aggregator) Rows() []Row {
+	out := make([]Row, 0, len(a.dfbs))
+	for name, values := range a.dfbs {
+		out = append(out, Row{Name: name, AvgDFB: Mean(values), Wins: a.wins[name]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AvgDFB != out[j].AvgDFB {
+			return out[i].AvgDFB < out[j].AvgDFB
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AvgDFB returns the mean dfb of one heuristic; ok is false when the
+// heuristic has no samples.
+func (a *Aggregator) AvgDFB(name string) (float64, bool) {
+	v, ok := a.dfbs[name]
+	if !ok || len(v) == 0 {
+		return 0, false
+	}
+	return Mean(v), true
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary formats mean ± CI95 for display.
+func Summary(xs []float64) string {
+	return fmt.Sprintf("%.2f ± %.2f", Mean(xs), CI95(xs))
+}

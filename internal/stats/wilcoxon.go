@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Wilcoxon implements the Wilcoxon signed-rank test for paired samples,
+// used to decide whether one heuristic's per-instance makespans are
+// systematically smaller than another's (the paper reports averages only;
+// we add significance so EXPERIMENTS.md can state which gaps are real).
+//
+// The implementation uses the normal approximation with tie correction and
+// a continuity correction, which is accurate for n ≳ 20 pairs — experiment
+// sweeps always have far more.
+
+// WilcoxonResult summarizes a paired signed-rank test.
+type WilcoxonResult struct {
+	// N is the number of non-zero-difference pairs actually used.
+	N int
+	// WPlus is the sum of ranks of positive differences (x > y).
+	WPlus float64
+	// WMinus is the sum of ranks of negative differences.
+	WMinus float64
+	// Z is the normal-approximation statistic.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// WilcoxonSignedRank tests H0: the paired differences x[i]−y[i] are
+// symmetric around zero. Zero differences are dropped (the standard
+// practice). It errors when fewer than 5 informative pairs remain.
+func WilcoxonSignedRank(x, y []float64) (*WilcoxonResult, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("stats: paired samples of different lengths %d and %d", len(x), len(y))
+	}
+	type pair struct {
+		abs  float64
+		sign int
+	}
+	var pairs []pair
+	for i := range x {
+		d := x[i] - y[i]
+		if d == 0 {
+			continue
+		}
+		s := 1
+		if d < 0 {
+			s = -1
+		}
+		pairs = append(pairs, pair{abs: math.Abs(d), sign: s})
+	}
+	n := len(pairs)
+	if n < 5 {
+		return nil, fmt.Errorf("stats: only %d informative pairs; need at least 5", n)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].abs < pairs[j].abs })
+
+	// Average ranks over ties; accumulate the tie correction term.
+	ranks := make([]float64, n)
+	var tieCorrection float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && pairs[j].abs == pairs[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+
+	res := &WilcoxonResult{N: n}
+	for i, p := range pairs {
+		if p.sign > 0 {
+			res.WPlus += ranks[i]
+		} else {
+			res.WMinus += ranks[i]
+		}
+	}
+	w := math.Min(res.WPlus, res.WMinus)
+	fn := float64(n)
+	mean := fn * (fn + 1) / 4
+	variance := fn*(fn+1)*(2*fn+1)/24 - tieCorrection/48
+	if variance <= 0 {
+		return nil, fmt.Errorf("stats: degenerate variance (all differences tied)")
+	}
+	// Continuity correction toward the mean.
+	res.Z = (w - mean + 0.5) / math.Sqrt(variance)
+	res.P = 2 * normalCDF(res.Z)
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+// normalCDF is Phi(z) for the standard normal distribution.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// PairedComparison runs the signed-rank test on two heuristics' per-instance
+// makespans and reports which wins. xs and ys must be index-aligned
+// (same instance order).
+func PairedComparison(nameX, nameY string, xs, ys []float64) (string, error) {
+	res, err := WilcoxonSignedRank(xs, ys)
+	if err != nil {
+		return "", err
+	}
+	mx, my := Mean(xs), Mean(ys)
+	verdict := "no significant difference"
+	if res.P < 0.05 {
+		if mx < my {
+			verdict = nameX + " significantly better"
+		} else {
+			verdict = nameY + " significantly better"
+		}
+	}
+	return fmt.Sprintf("%s mean %.1f vs %s mean %.1f: %s (p=%.2g, n=%d)",
+		nameX, mx, nameY, my, verdict, res.P, res.N), nil
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWilcoxonValidation(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// All-zero differences leave no informative pairs.
+	same := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := WilcoxonSignedRank(same, same); err == nil {
+		t.Fatal("all-tied pairs accepted")
+	}
+	// Too few pairs.
+	if _, err := WilcoxonSignedRank([]float64{1, 2, 3}, []float64{2, 3, 4}); err == nil {
+		t.Fatal("3 pairs accepted")
+	}
+}
+
+func TestWilcoxonNullDistribution(t *testing.T) {
+	// Symmetric noise: p-values should rarely be tiny.
+	r := rng.New(91)
+	significant := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 40)
+		y := make([]float64, 40)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+			y[i] = r.Normal(0, 1)
+		}
+		res, err := WilcoxonSignedRank(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			significant++
+		}
+		if res.P < 0 || res.P > 1 {
+			t.Fatalf("p out of range: %v", res.P)
+		}
+	}
+	// Expect ~5% false positives; allow generous slack.
+	if significant > trials/5 {
+		t.Fatalf("%d/%d null cases significant at 0.05", significant, trials)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	// A clear location shift must produce a tiny p-value.
+	r := rng.New(92)
+	x := make([]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		base := r.Normal(0, 1)
+		x[i] = base
+		y[i] = base + 1.0 + r.Normal(0, 0.2)
+	}
+	res, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("shift undetected: p=%v", res.P)
+	}
+	if res.WMinus < res.WPlus {
+		t.Fatal("rank sums have wrong orientation for x < y")
+	}
+}
+
+func TestWilcoxonRankSumsInvariant(t *testing.T) {
+	// WPlus + WMinus must equal n(n+1)/2 regardless of data.
+	r := rng.New(93)
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+			y[i] = r.Normal(0.3, 1)
+		}
+		res, err := WilcoxonSignedRank(x, y)
+		if err != nil {
+			continue
+		}
+		want := float64(res.N*(res.N+1)) / 2
+		if math.Abs(res.WPlus+res.WMinus-want) > 1e-9 {
+			t.Fatalf("rank sums %v+%v != %v", res.WPlus, res.WMinus, want)
+		}
+	}
+}
+
+func TestWilcoxonHandlesTies(t *testing.T) {
+	// Heavily tied integer data must not crash and must stay sane.
+	x := []float64{3, 3, 3, 4, 4, 5, 5, 5, 6, 6, 7, 7}
+	y := []float64{2, 2, 3, 3, 3, 4, 4, 4, 5, 5, 5, 5}
+	res, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P <= 0 || res.P > 1 {
+		t.Fatalf("p=%v", res.P)
+	}
+}
+
+func TestPairedComparison(t *testing.T) {
+	x := make([]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		x[i] = float64(100 + i)
+		y[i] = float64(110 + i) // y systematically 10 worse
+	}
+	s, err := PairedComparison("emct", "mct", x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "emct significantly better") {
+		t.Fatalf("verdict: %s", s)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{-1.96, 0.0249979},
+		{1.96, 0.9750021},
+		{-3, 0.0013499},
+	}
+	for _, c := range cases {
+		if got := normalCDF(c.z); math.Abs(got-c.want) > 1e-5 {
+			t.Fatalf("Phi(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package volatile
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TableRow is one line of a Table 2-style ranking: a heuristic's average
+// degradation-from-best (percent) and its number of (tied-)wins.
+type TableRow = stats.Row
+
+// SweepConfig describes one experiment sweep: a set of grid cells, the
+// heuristics to compare, and the number of scenarios and trials per cell.
+// All heuristics face identical instances (same platform, same availability
+// trajectories), which the dfb metric requires.
+type SweepConfig struct {
+	// Cells are the (n, ncom, wmin) combinations to cover.
+	Cells []Cell
+	// Heuristics are the heuristic names to compare (default: all 17).
+	Heuristics []string
+	// Scenarios is the number of random scenarios per cell (paper: 247).
+	Scenarios int
+	// Trials is the number of availability draws per scenario (paper: 10).
+	Trials int
+	// Options tunes scenario generation (CommScale for Table 3, etc.).
+	Options ScenarioOptions
+	// Seed makes the whole sweep reproducible.
+	Seed uint64
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives (completedInstances, totalInstances).
+	Progress func(done, total int)
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	// Instances is the number of (scenario × trial) instances aggregated.
+	Instances int
+	// Overall ranks heuristics over all instances (Table 2).
+	Overall []TableRow
+	// ByWmin ranks heuristics per wmin value (Figure 2's x-axis).
+	ByWmin map[int][]TableRow
+	// ByCell ranks heuristics per grid cell.
+	ByCell map[Cell][]TableRow
+	// Censored counts runs that hit the slot cap.
+	Censored int
+}
+
+// RunSweep executes the sweep, parallelizing across instances. Results are
+// deterministic for a fixed config, independent of worker count.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.Cells) == 0 {
+		return nil, fmt.Errorf("volatile: sweep with no cells")
+	}
+	if cfg.Scenarios <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("volatile: sweep needs Scenarios > 0 and Trials > 0")
+	}
+	heuristics := cfg.Heuristics
+	if len(heuristics) == 0 {
+		heuristics = Heuristics()
+	}
+	for _, h := range heuristics {
+		if _, err := NewScenario(0, Cell{Tasks: 1, Ncom: 1, Wmin: 1}, ScenarioOptions{}).Run(h, 0); err != nil {
+			return nil, fmt.Errorf("volatile: heuristic %q: %w", h, err)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		cellIdx, scenIdx, trialIdx int
+	}
+	var jobs []job
+	for c := range cfg.Cells {
+		for s := 0; s < cfg.Scenarios; s++ {
+			for tr := 0; tr < cfg.Trials; tr++ {
+				jobs = append(jobs, job{c, s, tr})
+			}
+		}
+	}
+	results := make([]*stats.InstanceResult, len(jobs))
+	censored := make([]int, len(jobs))
+
+	// Scenario cache: scenario generation is deterministic in
+	// (seed, cell, scenario index), shared across trials.
+	scenarios := make([]*Scenario, len(cfg.Cells)*cfg.Scenarios)
+	for c, cell := range cfg.Cells {
+		for s := 0; s < cfg.Scenarios; s++ {
+			scnSeed := deriveSeed(cfg.Seed, uint64(c), uint64(s), 0xA11CE)
+			scenarios[c*cfg.Scenarios+s] = NewScenario(scnSeed, cell, cfg.Options)
+		}
+	}
+
+	var wg sync.WaitGroup
+	jobCh := make(chan int)
+	errCh := make(chan error, workers)
+	var doneMu sync.Mutex
+	done := 0
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range jobCh {
+				j := jobs[ji]
+				scn := scenarios[j.cellIdx*cfg.Scenarios+j.scenIdx]
+				trialSeed := deriveSeed(cfg.Seed, uint64(j.cellIdx), uint64(j.scenIdx), uint64(j.trialIdx))
+				ir := &stats.InstanceResult{
+					Makespans: make(map[string]int, len(heuristics)),
+					Censored:  make(map[string]bool),
+				}
+				nCens := 0
+				for _, h := range heuristics {
+					res, err := scn.Run(h, trialSeed)
+					if err != nil {
+						select {
+						case errCh <- fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err):
+						default:
+						}
+						return
+					}
+					ir.Makespans[h] = res.Makespan
+					if !res.Completed {
+						ir.Censored[h] = true
+						nCens++
+					}
+				}
+				results[ji] = ir
+				censored[ji] = nCens
+				if cfg.Progress != nil {
+					doneMu.Lock()
+					done++
+					d := done
+					doneMu.Unlock()
+					cfg.Progress(d, len(jobs))
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		jobCh <- ji
+	}
+	close(jobCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	// Deterministic sequential aggregation.
+	overall := stats.NewAggregator()
+	byWmin := make(map[int]*stats.Aggregator)
+	byCell := make(map[Cell]*stats.Aggregator)
+	out := &SweepResult{ByWmin: make(map[int][]TableRow), ByCell: make(map[Cell][]TableRow)}
+	for ji, ir := range results {
+		if ir == nil {
+			continue
+		}
+		j := jobs[ji]
+		cell := cfg.Cells[j.cellIdx]
+		overall.Add(ir)
+		if byWmin[cell.Wmin] == nil {
+			byWmin[cell.Wmin] = stats.NewAggregator()
+		}
+		byWmin[cell.Wmin].Add(ir)
+		if byCell[cell] == nil {
+			byCell[cell] = stats.NewAggregator()
+		}
+		byCell[cell].Add(ir)
+		out.Censored += censored[ji]
+	}
+	out.Instances = overall.Instances()
+	out.Overall = overall.Rows()
+	for wmin, agg := range byWmin {
+		out.ByWmin[wmin] = agg.Rows()
+	}
+	for cell, agg := range byCell {
+		out.ByCell[cell] = agg.Rows()
+	}
+	return out, nil
+}
+
+// deriveSeed mixes sweep indices into a reproducible sub-seed.
+func deriveSeed(parts ...uint64) uint64 {
+	s := rng.SplitMix64(0x9E3779B97F4A7C15)
+	acc := s.Next()
+	for _, p := range parts {
+		sp := rng.SplitMix64(acc ^ p)
+		acc = sp.Next()
+	}
+	return acc
+}
+
+// Table2Config builds the sweep of the paper's Table 2: the full Table 1
+// grid with the given per-cell scenario and trial counts (the paper uses
+// 247 scenarios × 10 trials; scale down for quick runs).
+func Table2Config(scenarios, trials int, seed uint64) SweepConfig {
+	return SweepConfig{
+		Cells:     PaperGrid(),
+		Scenarios: scenarios,
+		Trials:    trials,
+		Seed:      seed,
+	}
+}
+
+// Figure2Config builds the sweep behind Figure 2: the same grid, restricted
+// to the heuristics the figure plots (mct, mct*, emct, emct*, ud*, lw*).
+func Figure2Config(scenarios, trials int, seed uint64) SweepConfig {
+	cfg := Table2Config(scenarios, trials, seed)
+	cfg.Heuristics = []string{"mct", "mct*", "emct", "emct*", "ud*", "lw*"}
+	return cfg
+}
+
+// Table3Config builds a contention-prone sweep of Table 3: n=20, ncom=5,
+// wmin=1 with communication scaled by commScale (5 or 10), greedy
+// heuristics only (as in the paper's table).
+func Table3Config(commScale, scenarios, trials int, seed uint64) SweepConfig {
+	return SweepConfig{
+		Cells:      []Cell{ContentionCell()},
+		Heuristics: GreedyHeuristics(),
+		Scenarios:  scenarios,
+		Trials:     trials,
+		Options:    ScenarioOptions{CommScale: commScale},
+		Seed:       seed,
+	}
+}
+
+// Figure2Series extracts, for each named heuristic, its average dfb per
+// wmin value (ascending), ready for plotting. Missing samples are NaN-free:
+// wmin values absent from the sweep are skipped.
+func Figure2Series(res *SweepResult, heuristics []string) (wmins []int, series map[string][]float64) {
+	for wmin := range res.ByWmin {
+		wmins = append(wmins, wmin)
+	}
+	sort.Ints(wmins)
+	series = make(map[string][]float64, len(heuristics))
+	for _, h := range heuristics {
+		ys := make([]float64, len(wmins))
+		for i, wmin := range wmins {
+			ys[i] = rowValue(res.ByWmin[wmin], h)
+		}
+		series[h] = ys
+	}
+	return wmins, series
+}
+
+func rowValue(rows []TableRow, name string) float64 {
+	for _, r := range rows {
+		if r.Name == name {
+			return r.AvgDFB
+		}
+	}
+	return 0
+}

@@ -1,0 +1,258 @@
+// Package volatile is the public API of this reproduction of
+// "Scheduling Parallel Iterative Applications on Volatile Resources"
+// (Casanova, Dufossé, Robert, Vivien — IPDPS 2011 / LIP RR-2010-31).
+//
+// It simulates master-worker iterative applications on processors that
+// alternate between UP, RECLAIMED and DOWN states, under a bounded
+// multi-port communication model (the master sustains at most ncom
+// simultaneous transfers), and implements the paper's seventeen scheduling
+// heuristics: the random family (uniform + four reliability weights, each
+// optionally speed-scaled) and the greedy family (MCT, EMCT, LW, UD and
+// their contention-corrected * variants).
+//
+// Typical use:
+//
+//	scn := volatile.NewScenario(42, volatile.Cell{Tasks: 20, Ncom: 10, Wmin: 3},
+//	    volatile.ScenarioOptions{})
+//	res, err := scn.Run("emct*", 1)
+//	// res.Makespan is the number of slots needed for 10 iterations.
+//
+// The sweep API (RunSweep, Table2Config, Figure2Config, Table3Config)
+// regenerates the paper's Table 2, Figure 2 and Table 3.
+package volatile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/avail"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Cell is one experimental parameter combination of the paper's Table 1.
+type Cell struct {
+	// Tasks is the number of tasks per iteration (the paper's n).
+	Tasks int
+	// Ncom is the master's concurrent-transfer budget.
+	Ncom int
+	// Wmin scales task durations: processor speeds are drawn uniformly from
+	// [Wmin, 10·Wmin]; Tdata = Wmin and Tprog = 5·Wmin (times CommScale).
+	Wmin int
+}
+
+// String renders the cell compactly.
+func (c Cell) String() string {
+	return fmt.Sprintf("n=%d ncom=%d wmin=%d", c.Tasks, c.Ncom, c.Wmin)
+}
+
+// PaperGrid returns the 120 cells of the paper's Table 1.
+func PaperGrid() []Cell {
+	cells := workload.PaperGrid()
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		out[i] = Cell{Tasks: c.N, Ncom: c.Ncom, Wmin: c.Wmin}
+	}
+	return out
+}
+
+// ContentionCell returns the Table 3 setting (n=20, ncom=5, wmin=1), to be
+// combined with ScenarioOptions.CommScale 5 or 10.
+func ContentionCell() Cell { return Cell{Tasks: 20, Ncom: 5, Wmin: 1} }
+
+// ScenarioOptions tunes scenario generation. The zero value reproduces the
+// paper's settings: 20 processors, 10 iterations, communication scale 1,
+// up to 2 extra replicas per task.
+type ScenarioOptions struct {
+	// Processors is the platform size (default 20).
+	Processors int
+	// Iterations is the number of iterations per run (default 10).
+	Iterations int
+	// CommScale multiplies Tdata and Tprog (default 1; Table 3 uses 5, 10).
+	CommScale int
+	// MaxReplicas caps extra task copies: 0 means the paper default of 2;
+	// negative disables replication entirely.
+	MaxReplicas int
+	// MaxSlots caps run length (0 = a generous default); capped runs are
+	// reported as censored.
+	MaxSlots int
+}
+
+func (o ScenarioOptions) toWorkload() workload.Options {
+	return workload.Options{
+		P:           o.Processors,
+		Iterations:  o.Iterations,
+		CommScale:   o.CommScale,
+		MaxReplicas: o.MaxReplicas,
+		MaxSlots:    o.MaxSlots,
+	}
+}
+
+// Heuristics lists every implemented heuristic name in the paper's Table 2
+// order: emct, emct*, mct, mct*, ud*, ud, lw*, lw, random1w..random3w,
+// random3..random2, random.
+func Heuristics() []string { return core.Names() }
+
+// GreedyHeuristics lists the greedy family (the curves of Figure 2 plus
+// their uncorrected counterparts).
+func GreedyHeuristics() []string { return core.GreedyNames() }
+
+// Event kinds re-exported for event-stream consumers.
+const (
+	EvProgramStart  = sim.EvProgramStart
+	EvDataStart     = sim.EvDataStart
+	EvComputeStart  = sim.EvComputeStart
+	EvTaskComplete  = sim.EvTaskComplete
+	EvCopyCancelled = sim.EvCopyCancelled
+	EvCrash         = sim.EvCrash
+	EvIterationDone = sim.EvIterationDone
+)
+
+// Aliased result types (defined in the simulation engine).
+type (
+	// RunResult is the outcome of one simulation run.
+	RunResult = sim.Result
+	// RunStats carries the resource counters of a run.
+	RunStats = sim.Stats
+	// Event is an engine occurrence (for verbose timelines).
+	Event = sim.Event
+	// SlotReport is the per-slot observer payload.
+	SlotReport = sim.SlotReport
+)
+
+// Scenario is a concrete experimental setting: a randomly drawn platform
+// plus run parameters. Runs on the same Scenario with the same trial seed
+// see identical availability trajectories, so heuristics can be compared
+// instance by instance (the paper's dfb metric).
+type Scenario struct {
+	inner *workload.Scenario
+}
+
+// NewScenario draws a scenario from the given seed using the generation
+// rules of the paper's Section 7.
+func NewScenario(seed uint64, cell Cell, opt ScenarioOptions) *Scenario {
+	wo := opt.toWorkload()
+	disableReplicas := wo.MaxReplicas < 0
+	if disableReplicas {
+		wo.MaxReplicas = 2 // placeholder; zeroed after generation
+	}
+	scn := workload.Generate(rng.New(seed), workload.Cell{N: cell.Tasks, Ncom: cell.Ncom, Wmin: cell.Wmin}, wo)
+	if disableReplicas {
+		scn.Params.MaxReplicas = 0
+	}
+	return &Scenario{inner: scn}
+}
+
+// Describe returns a human-readable summary of the scenario.
+func (s *Scenario) Describe() string {
+	var b strings.Builder
+	p := s.inner.Params
+	fmt.Fprintf(&b, "scenario %s: %d processors, %d iterations of %d tasks\n",
+		s.inner.Name, s.inner.Platform.P(), p.Iterations, p.M)
+	fmt.Fprintf(&b, "  Tprog=%d Tdata=%d ncom=%d max extra replicas=%d\n",
+		p.Tprog, p.Tdata, p.Ncom, p.MaxReplicas)
+	for _, proc := range s.inner.Platform.Processors {
+		piU, piR, piD := proc.Avail.Stationary()
+		fmt.Fprintf(&b, "  P%-2d w=%-3d piU=%.3f piR=%.3f piD=%.3f\n",
+			proc.ID, proc.W, piU, piR, piD)
+	}
+	return b.String()
+}
+
+// Params returns the run parameters (m, ncom, Tprog, Tdata, iterations...).
+func (s *Scenario) Params() platform.Params { return s.inner.Params }
+
+// Processors returns the number of processors in the platform.
+func (s *Scenario) Processors() int { return s.inner.Platform.P() }
+
+// ProcessorSpeed returns w_i, the UP slots processor i needs per task.
+func (s *Scenario) ProcessorSpeed(i int) int {
+	return s.inner.Platform.Processors[i].W
+}
+
+// ProcessorModel returns the 3-state Markov availability model of
+// processor i (the model informed heuristics consult, and the generator of
+// its trajectories in model-driven runs).
+func (s *Scenario) ProcessorModel(i int) *avail.Markov3 {
+	return s.inner.Platform.Processors[i].Avail
+}
+
+// Run executes the named heuristic on one trial of the scenario. The trial
+// seed determines the availability trajectories and any heuristic
+// randomness; the same (scenario, trialSeed) pair confronts every heuristic
+// with the same world.
+func (s *Scenario) Run(heuristic string, trialSeed uint64) (*RunResult, error) {
+	return s.run(heuristic, trialSeed, nil, nil)
+}
+
+// RunWithHooks is Run with optional per-slot observer and event callbacks.
+func (s *Scenario) RunWithHooks(heuristic string, trialSeed uint64,
+	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
+	return s.run(heuristic, trialSeed, observer, onEvent)
+}
+
+func (s *Scenario) run(heuristic string, trialSeed uint64,
+	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
+	trialRng := rng.New(trialSeed)
+	procs := s.inner.Trial(trialRng)
+	sched, err := core.New(heuristic, trialRng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Platform:  s.inner.Platform,
+		Params:    s.inner.Params,
+		Procs:     procs,
+		Scheduler: sched,
+		Observer:  observer,
+		OnEvent:   onEvent,
+	})
+}
+
+// RunTrace executes the named heuristic against explicit availability
+// vectors (letters u/r/d, one string per processor; they replay verbatim and
+// then hold their last state). The informed heuristics consult Markov models
+// fitted to each vector, mirroring a master that estimated behaviour from
+// history. Vector count must match the scenario's processor count.
+func (s *Scenario) RunTrace(heuristic string, trialSeed uint64, vectors []string) (*RunResult, error) {
+	return s.RunTraceWithEvents(heuristic, trialSeed, vectors, nil)
+}
+
+// RunTraceWithEvents is RunTrace with an event callback for timelines.
+func (s *Scenario) RunTraceWithEvents(heuristic string, trialSeed uint64, vectors []string,
+	onEvent func(Event)) (*RunResult, error) {
+	if len(vectors) != s.inner.Platform.P() {
+		return nil, fmt.Errorf("volatile: %d vectors for %d processors",
+			len(vectors), s.inner.Platform.P())
+	}
+	procs := make([]avail.Process, len(vectors))
+	pl := &platform.Platform{Processors: make([]*platform.Processor, len(vectors))}
+	for i, spec := range vectors {
+		v, err := avail.ParseVector(spec)
+		if err != nil {
+			return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
+		}
+		procs[i] = avail.NewVectorProcess(v)
+		fitted, err := trace.FitMarkov3(v)
+		if err != nil {
+			return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
+		}
+		orig := s.inner.Platform.Processors[i]
+		pl.Processors[i] = &platform.Processor{ID: i, W: orig.W, Avail: fitted}
+	}
+	sched, err := core.New(heuristic, rng.New(trialSeed))
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Platform:  pl,
+		Params:    s.inner.Params,
+		Procs:     procs,
+		Scheduler: sched,
+		OnEvent:   onEvent,
+	})
+}
