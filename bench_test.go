@@ -44,12 +44,8 @@ func logRows(b *testing.B, title string, rows []TableRow) {
 }
 
 func dfb(rows []TableRow, name string) float64 {
-	for _, r := range rows {
-		if r.Name == name {
-			return r.AvgDFB
-		}
-	}
-	return 0
+	v, _ := rowValue(rows, name) // NaN for absent heuristics, never a fake 0
+	return v
 }
 
 func BenchmarkTable2(b *testing.B) {

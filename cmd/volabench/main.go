@@ -139,7 +139,13 @@ func printFigure2(res *volatile.SweepResult, heuristics []string, csvPath string
 	for i, w := range wmins {
 		labels[i] = fmt.Sprintf("%d", w)
 	}
-	names := append([]string(nil), heuristics...)
+	// Figure2Series omits heuristics with no data at all; plot only the rest.
+	names := make([]string, 0, len(heuristics))
+	for _, h := range heuristics {
+		if _, ok := series[h]; ok {
+			names = append(names, h)
+		}
+	}
 	sort.Strings(names)
 	var plotSeries []report.Series
 	for _, h := range names {

@@ -2,6 +2,7 @@ package avail
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/markov"
 	"repro/internal/rng"
@@ -14,7 +15,26 @@ import (
 type Markov3 struct {
 	chain *markov.Chain
 	pi    [3]float64
+	// memo interns derived per-model quantities (internal/expect.Analytics).
+	// The model is immutable after construction, so the derived values are
+	// too; keeping the slot opaque here preserves the expect -> avail
+	// dependency direction.
+	memo atomic.Pointer[any]
 }
+
+// Memo returns the interned derived-analytics value, or nil when none has
+// been stored yet. The content is owned by internal/expect.
+func (m *Markov3) Memo() any {
+	if p := m.memo.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetMemo interns a derived-analytics value. Concurrent stores of equal
+// values are harmless: the model is immutable, so every computed value is
+// identical and the last store wins.
+func (m *Markov3) SetMemo(v any) { m.memo.Store(&v) }
 
 // NewMarkov3 validates the 3x3 transition matrix (indexed by State: Up=0,
 // Reclaimed=1, Down=2) and precomputes the stationary distribution.

@@ -121,7 +121,9 @@ func TestCorrectedTdata(t *testing.T) {
 func mkView(prm *platform.Params, a, b sim.ProcView) *sim.View {
 	a.ID, b.ID = 0, 1
 	a.State, b.State = avail.Up, avail.Up
-	return &sim.View{Params: prm, Procs: []sim.ProcView{a, b}, TasksRemaining: prm.M}
+	v := &sim.View{Params: prm, Procs: []sim.ProcView{a, b}, TasksRemaining: prm.M}
+	v.FillAnalytics()
+	return v
 }
 
 func freshRound(n int) *sim.RoundState { return &sim.RoundState{NQ: make([]int, n)} }
@@ -309,6 +311,7 @@ func TestRandomUniformCoversEligible(t *testing.T) {
 	for i := range v.Procs {
 		v.Procs[i] = sim.ProcView{ID: i, W: 1, State: avail.Up, Model: reliableModel()}
 	}
+	v.FillAnalytics()
 	s := NewRandom(rng.New(1))
 	counts := map[int]int{}
 	eligible := []int{0, 2, 3}
@@ -332,6 +335,7 @@ func TestWeightedRandomBiases(t *testing.T) {
 		{ID: 0, W: 1, State: avail.Up, Model: flakyModel()},
 		{ID: 1, W: 1, State: avail.Up, Model: reliableModel()},
 	}}
+	v.FillAnalytics()
 	s, err := NewWeightedRandom(2, false, rng.New(2)) // weight = P+
 	if err != nil {
 		t.Fatal(err)
@@ -355,6 +359,7 @@ func TestWeightedRandomBySpeed(t *testing.T) {
 		{ID: 0, W: 4, State: avail.Up, Model: reliableModel()},
 		{ID: 1, W: 1, State: avail.Up, Model: reliableModel()},
 	}}
+	v.FillAnalytics()
 	s, err := NewWeightedRandom(1, true, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
@@ -504,6 +509,7 @@ func BenchmarkEMCTPick(b *testing.B) {
 		v.Procs[i] = sim.ProcView{ID: i, W: 1 + i%7, State: avail.Up, Model: reliableModel()}
 		eligible[i] = i
 	}
+	v.FillAnalytics()
 	s := NewEMCT(true)
 	rs := freshRound(20)
 	b.ReportAllocs()

@@ -20,6 +20,8 @@ import (
 // by having high completion-time variance (which no paper heuristic sees).
 type deadlineSched struct {
 	slack float64
+	// cts is Pick's scratch buffer (reused across calls).
+	cts []int
 }
 
 // NewDeadline returns the deadline-probability heuristic. slack ≥ 1 widens
@@ -38,7 +40,10 @@ func (s *deadlineSched) Name() string { return "deadline" }
 func (s *deadlineSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
 	// Common deadline from the best raw CT.
 	bestCT := math.MaxInt
-	cts := make([]int, len(eligible))
+	if cap(s.cts) < len(eligible) {
+		s.cts = make([]int, len(eligible))
+	}
+	cts := s.cts[:len(eligible)] // every entry is overwritten below
 	for i, q := range eligible {
 		ct := CT(&v.Procs[q], rs.NQ[q]+1, v.Params.Tdata)
 		cts[i] = ct

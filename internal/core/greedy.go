@@ -3,8 +3,6 @@ package core
 import (
 	"math"
 
-	"repro/internal/avail"
-	"repro/internal/expect"
 	"repro/internal/sim"
 )
 
@@ -67,40 +65,28 @@ func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti s
 func scoreMCT(_ *sim.ProcView, ct float64) float64 { return ct }
 
 // scoreEMCT minimizes E(CT), the expected number of slots needed to be UP
-// during CT slots without going DOWN (Theorem 2).
+// during CT slots without going DOWN (Theorem 2). The per-model expectation
+// machinery is precomputed in pv.Analytics, so scoring is pure arithmetic.
 func scoreEMCT(pv *sim.ProcView, ct float64) float64 {
-	return expect.ExpectedSlots(pv.Model, ct)
+	return pv.Analytics.ExpectedSlots(ct)
 }
 
 // scoreLW maximizes (P+)^CT, computed in log space to survive large CT.
 func scoreLW(pv *sim.ProcView, ct float64) float64 {
-	pp := expect.PPlus(pv.Model)
-	if pp <= 0 {
+	a := pv.Analytics
+	if a.PPlus <= 0 {
 		return math.Inf(1)
 	}
 	// Maximize ct·ln(P+)  ⇔  minimize ct·(−ln(P+)).
-	return ct * -math.Log(pp)
+	return ct * a.NegLogPPlus
 }
 
-// scoreUD maximizes the approximate P_UD(k) at k = E(CT), in log space.
+// scoreUD maximizes the approximate P_UD(k) at k = E(CT), in log space:
+// minimize −ln P_UD(k) = −ln(1−P(u,d)) − (k−2)·ln(perSlot), with the
+// per-slot survival rate and both logarithms cached per model.
 func scoreUD(pv *sim.ProcView, ct float64) float64 {
-	k := expect.ExpectedSlots(pv.Model, ct)
-	if k <= 1 {
-		return 0 // P_UD = 1
-	}
-	m := pv.Model
-	pud := m.P(avail.Up, avail.Down)
-	prd := m.P(avail.Reclaimed, avail.Down)
-	piU, piR, _ := m.Stationary()
-	if piU+piR <= 0 || pud >= 1 {
-		return math.Inf(1)
-	}
-	perSlot := 1 - (pud*piU+prd*piR)/(piU+piR)
-	if perSlot <= 0 {
-		return math.Inf(1)
-	}
-	// Minimize −ln P_UD(k) = −ln(1−P(u,d)) − (k−2)·ln(perSlot).
-	return -math.Log(1-pud) - (k-2)*math.Log(perSlot)
+	a := pv.Analytics
+	return a.UDScore(a.ExpectedSlots(ct))
 }
 
 func greedyScore(base string) func(*sim.ProcView, float64) float64 {
@@ -168,7 +154,8 @@ func NewRiskAverse(lambda float64) sim.Scheduler {
 		name: "remct",
 		mode: plainComm,
 		score: func(pv *sim.ProcView, ct float64) float64 {
-			return expect.ExpectedSlots(pv.Model, ct) + lambda*expect.StdDevSlots(pv.Model, ct)
+			a := pv.Analytics
+			return a.ExpectedSlots(ct) + lambda*a.StdDevSlots(ct)
 		},
 	}
 }

@@ -26,6 +26,7 @@ func passiveView(states ...avail.State) *sim.View {
 	for i, st := range states {
 		v.Procs[i] = sim.ProcView{ID: i, W: 1, State: st, Model: reliableModel()}
 	}
+	v.FillAnalytics()
 	return v
 }
 

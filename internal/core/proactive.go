@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/avail"
-	"repro/internal/expect"
 	"repro/internal/sim"
 )
 
@@ -45,7 +44,7 @@ func (s *proactiveSched) Cancel(v *sim.View) []int {
 		if pv.State != avail.Up || pv.Busy() {
 			continue
 		}
-		alt := expect.ExpectedSlots(pv.Model, float64(CT(pv, 1, v.Params.Tdata)))
+		alt := pv.Analytics.ExpectedSlots(float64(CT(pv, 1, v.Params.Tdata)))
 		if !haveAlt || alt < bestAlt {
 			bestAlt, haveAlt = alt, true
 		}
@@ -62,7 +61,7 @@ func (s *proactiveSched) Cancel(v *sim.View) []int {
 		if !pv.Busy() || pv.State == avail.Down {
 			continue
 		}
-		rem := expect.ExpectedSlots(pv.Model, float64(Delay(pv)))
+		rem := pv.Analytics.ExpectedSlots(float64(Delay(pv)))
 		if pv.State == avail.Reclaimed {
 			// Add the expected remainder of the current RECLAIMED sojourn.
 			prr := pv.Model.P(avail.Reclaimed, avail.Reclaimed)

@@ -17,6 +17,7 @@ func TestProactiveCancelsSlowCommitment(t *testing.T) {
 			HasComputing: true, ComputingRem: 50},
 		{ID: 1, W: 2, State: avail.Up, Model: reliableModel(), RemProgram: 0},
 	}}
+	v.FillAnalytics()
 	cancels := s.Cancel(v)
 	if len(cancels) != 1 || cancels[0] != 0 {
 		t.Fatalf("Cancel = %v, want [0]", cancels)
@@ -33,6 +34,7 @@ func TestProactiveKeepsReasonableCommitments(t *testing.T) {
 			HasComputing: true, ComputingRem: 2},
 		{ID: 1, W: 5, State: avail.Up, Model: reliableModel(), RemProgram: 10},
 	}}
+	v.FillAnalytics()
 	if cancels := s.Cancel(v); len(cancels) != 0 {
 		t.Fatalf("Cancel = %v, want none", cancels)
 	}
@@ -47,6 +49,7 @@ func TestProactiveNeedsIdleAlternative(t *testing.T) {
 			HasComputing: true, ComputingRem: 50},
 		{ID: 1, W: 1, State: avail.Reclaimed, Model: reliableModel()},
 	}}
+	v.FillAnalytics()
 	if cancels := s.Cancel(v); len(cancels) != 0 {
 		t.Fatalf("Cancel without alternative = %v", cancels)
 	}
@@ -60,6 +63,7 @@ func TestProactiveCancelsAtMostOnePerSlot(t *testing.T) {
 		{ID: 1, W: 60, State: avail.Up, Model: flakyModel(), HasComputing: true, ComputingRem: 60},
 		{ID: 2, W: 2, State: avail.Up, Model: reliableModel()},
 	}}
+	v.FillAnalytics()
 	cancels := s.Cancel(v)
 	if len(cancels) != 1 {
 		t.Fatalf("Cancel = %v, want exactly one", cancels)

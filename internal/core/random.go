@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/avail"
-	"repro/internal/expect"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -13,7 +12,8 @@ import (
 // heuristics of Section 6.2.
 type WeightFn func(pv *sim.ProcView) float64
 
-// Predefined reliability weights (Section 6.2).
+// Predefined reliability weights (Section 6.2), all reading the per-model
+// cache in pv.Analytics rather than re-deriving Markov quantities per pick.
 var (
 	// WeightLongTimeUp is Random1: P(u,u), favoring processors that stay UP.
 	WeightLongTimeUp WeightFn = func(pv *sim.ProcView) float64 {
@@ -22,17 +22,15 @@ var (
 	// WeightLikelyToWorkMore is Random2: P+, favoring processors likely to
 	// be UP again before crashing.
 	WeightLikelyToWorkMore WeightFn = func(pv *sim.ProcView) float64 {
-		return expect.PPlus(pv.Model)
+		return pv.Analytics.PPlus
 	}
 	// WeightOftenUp is Random3: πu, favoring processors UP more often.
 	WeightOftenUp WeightFn = func(pv *sim.ProcView) float64 {
-		piU, _, _ := pv.Model.Stationary()
-		return piU
+		return pv.Analytics.PiU
 	}
 	// WeightRarelyDown is Random4: 1−πd, favoring processors DOWN less often.
 	WeightRarelyDown WeightFn = func(pv *sim.ProcView) float64 {
-		_, _, piD := pv.Model.Stationary()
-		return 1 - piD
+		return 1 - pv.Analytics.PiD
 	}
 )
 
@@ -43,6 +41,9 @@ type randomSched struct {
 	weight  WeightFn
 	bySpeed bool // divide the weight by w_q (the "w" variants)
 	r       *rng.PCG
+	// weights is Pick's scratch buffer, reused so the hot path stays
+	// allocation-free after warm-up.
+	weights []float64
 }
 
 // NewRandom returns the uniform Random heuristic.
@@ -81,7 +82,10 @@ func (s *randomSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti s
 	if s.weight == nil {
 		return eligible[s.r.Intn(len(eligible))]
 	}
-	weights := make([]float64, len(eligible))
+	if cap(s.weights) < len(eligible) {
+		s.weights = make([]float64, len(eligible))
+	}
+	weights := s.weights[:len(eligible)] // every entry is overwritten below
 	var total float64
 	for i, q := range eligible {
 		pv := &v.Procs[q]

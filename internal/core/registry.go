@@ -79,6 +79,18 @@ func init() {
 	}
 }
 
+// Register adds (or replaces) a heuristic factory under the given name,
+// making it reachable through New and the sweep API. Paper heuristics are
+// pre-registered; Register exists for extensions and test doubles. It is not
+// safe for concurrent use with New; register before running sweeps.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("core: Register needs a name and a factory")
+	}
+	registry[name] = f
+	return nil
+}
+
 // New instantiates the named heuristic.
 func New(name string, r *rng.PCG) (sim.Scheduler, error) {
 	f, ok := registry[name]

@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// leastLoaded is a deterministic stand-in heuristic that exercises the full
+// round state (queues, replicas) without any allocation of its own.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+func (leastLoaded) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	best := eligible[0]
+	for _, q := range eligible {
+		if rs.NQ[q] < rs.NQ[best] {
+			best = q
+		}
+	}
+	return best
+}
+
+// TestSteadyStateSlotAllocationCeiling is the alloc regression guard of the
+// zero-alloc engine work: a steady-state slot must not allocate. The only
+// heap traffic allowed per run is run-level (trial processes, the result,
+// first-touch buffer growth), so total allocations divided by simulated
+// slots must stay far below one. The pre-rework engine allocated several
+// objects per slot (round state, planned-copy map, continuation sort,
+// copy states), i.e. a per-slot ratio well above 3.
+func TestSteadyStateSlotAllocationCeiling(t *testing.T) {
+	pl := platform.RandomPlatform(rng.New(7), 8, 2)
+	prm := platform.Params{M: 6, Iterations: 5, Ncom: 4, Tprog: 10, Tdata: 2, MaxReplicas: 2}
+
+	runner := sim.NewRunner()
+	seed := uint64(0)
+	slots := 0
+	run := func() {
+		seed++
+		r := rng.New(seed)
+		procs := make([]avail.Process, pl.P())
+		for i, p := range pl.Processors {
+			stream := r.Split()
+			procs[i] = p.Avail.NewProcess(stream, p.Avail.SampleStationary(stream))
+		}
+		res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: leastLoaded{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots += res.Makespan
+	}
+	run() // warm-up: sizes every reusable buffer and the copy pool
+
+	slots = 0
+	const rounds = 20
+	allocs := testing.AllocsPerRun(rounds, run)
+	if slots == 0 {
+		t.Fatal("no slots simulated")
+	}
+	perSlot := allocs * (rounds + 1) / float64(slots) // AllocsPerRun averages over rounds+1 invocations
+	t.Logf("%.1f allocs/run over %d slots -> %.4f allocs/slot", allocs, slots/(rounds+1), perSlot)
+	// Budget: run-level allocations only (one trial = ~3 allocs per processor
+	// plus the result); the steady-state slot itself must contribute zero.
+	const ceiling = 0.5
+	if perSlot > ceiling {
+		t.Fatalf("allocations per simulated slot = %.4f, want <= %.2f (slot hot path must not allocate)", perSlot, ceiling)
+	}
+}

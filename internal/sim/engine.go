@@ -2,9 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/avail"
+	"repro/internal/expect"
 	"repro/internal/platform"
 )
 
@@ -66,11 +66,16 @@ type plannedAssignment struct {
 	replica int // 0 = original
 }
 
-// engine is the mutable run state.
+// contRec is one in-flight transfer chain awaiting channel slots.
+type contRec struct{ worker, replica, task int }
+
+// engine is the mutable run state. All of its buffers survive between slots
+// and — through Runner — between runs, so a steady-state slot performs no
+// heap allocation.
 type engine struct {
-	cfg     *Config
+	cfg     Config
 	params  *platform.Params
-	workers []*workerState
+	workers []workerState
 	tasks   []taskState
 	slot    int
 	iter    int
@@ -82,29 +87,43 @@ type engine struct {
 	view     View
 	eligible []int
 	plans    []plannedAssignment
+	rs       RoundState
+	// plannedCopies[t] counts copies of task t planned in the current round
+	// (the per-slot replacement for a per-round map).
+	plannedCopies []int
+	conts         []contRec
+	idle          []int
+	dropBuf       []*copyState
+	// freeCopies pools retired copyState objects for reuse by bindCopy.
+	freeCopies []*copyState
 }
+
+// Runner owns a reusable engine. A Runner amortizes every engine allocation
+// (worker states, task tables, scheduler view, scratch buffers, the copy
+// pool) across the runs it executes, which is what tight sweep loops want.
+// A Runner must not be used concurrently; use one per goroutine.
+type Runner struct {
+	e engine
+}
+
+// NewRunner returns an empty Runner; its first Run sizes the buffers.
+func NewRunner() *Runner { return &Runner{} }
 
 // Run executes one simulation and returns its result. The error reports
 // configuration problems or scheduler protocol violations; volatile-platform
 // conditions (even pathological ones) are not errors.
 func Run(cfg Config) (*Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// Run executes one simulation on the reused engine. Results are identical to
+// the package-level Run: reuse only recycles memory, never state.
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		cfg:         &cfg,
-		params:      &cfg.Params,
-		workers:     make([]*workerState, cfg.Platform.P()),
-		tasks:       make([]taskState, cfg.Params.M),
-		nextReplica: make([]int, cfg.Params.M),
-	}
-	for i, p := range cfg.Platform.Processors {
-		e.workers[i] = &workerState{proc: p, state: avail.Down}
-	}
-	e.view = View{
-		Params: e.params,
-		Procs:  make([]ProcView, len(e.workers)),
-	}
+	e := &r.e
+	e.reset(cfg)
 
 	maxSlots := cfg.Params.EffectiveMaxSlots()
 	for e.slot = 0; e.slot < maxSlots; e.slot++ {
@@ -115,7 +134,7 @@ func Run(cfg Config) (*Result, error) {
 			return &Result{
 				Completed:     true,
 				Makespan:      e.slot + 1,
-				IterationEnds: e.ends,
+				IterationEnds: append([]int(nil), e.ends...),
 				Stats:         e.stats,
 			}, nil
 		}
@@ -123,9 +142,83 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{
 		Completed:     false,
 		Makespan:      maxSlots,
-		IterationEnds: e.ends,
+		IterationEnds: append([]int(nil), e.ends...),
 		Stats:         e.stats,
 	}, nil
+}
+
+// reset (re)initializes the engine for a run, growing buffers as needed and
+// recycling any state left from a previous (possibly censored) run.
+func (e *engine) reset(cfg Config) {
+	e.cfg = cfg
+	e.params = &e.cfg.Params
+	p := cfg.Platform.P()
+	m := cfg.Params.M
+
+	if cap(e.workers) < p {
+		e.workers = make([]workerState, p)
+	}
+	e.workers = e.workers[:p]
+	for i := range e.workers {
+		w := &e.workers[i]
+		// Retire copies a previous run left in flight.
+		if w.computing != nil {
+			e.releaseCopy(w.computing)
+		}
+		if w.incoming != nil {
+			e.releaseCopy(w.incoming)
+		}
+		proc := cfg.Platform.Processors[i]
+		*w = workerState{proc: proc, state: avail.Down, analytics: expect.Of(proc.Avail)}
+	}
+
+	if cap(e.tasks) < m {
+		e.tasks = make([]taskState, m)
+		e.nextReplica = make([]int, m)
+		e.plannedCopies = make([]int, m)
+	}
+	e.tasks = e.tasks[:m]
+	e.nextReplica = e.nextReplica[:m]
+	e.plannedCopies = e.plannedCopies[:m]
+	for t := range e.tasks {
+		e.tasks[t] = taskState{}
+		e.nextReplica[t] = 0
+		e.plannedCopies[t] = 0
+	}
+
+	if cap(e.rs.NQ) < p {
+		e.rs.NQ = make([]int, p)
+		e.view.Procs = make([]ProcView, p)
+	}
+	e.rs.NQ = e.rs.NQ[:p]
+	e.view = View{Params: e.params, Procs: e.view.Procs[:p]}
+
+	e.slot, e.iter = 0, 0
+	e.stats = Stats{}
+	e.ends = e.ends[:0]
+	e.eligible = e.eligible[:0]
+	e.plans = e.plans[:0]
+	e.conts = e.conts[:0]
+	e.idle = e.idle[:0]
+	e.dropBuf = e.dropBuf[:0]
+}
+
+// newCopy takes a copyState from the pool (or allocates the pool's first
+// instances) and initializes it.
+func (e *engine) newCopy(task, replica int) *copyState {
+	if n := len(e.freeCopies); n > 0 {
+		c := e.freeCopies[n-1]
+		e.freeCopies = e.freeCopies[:n-1]
+		*c = copyState{task: task, replica: replica}
+		return c
+	}
+	return &copyState{task: task, replica: replica}
+}
+
+// releaseCopy returns a retired copy to the pool. Callers must be done with
+// the copy's fields (waste accounting, events) before releasing it.
+func (e *engine) releaseCopy(c *copyState) {
+	e.freeCopies = append(e.freeCopies, c)
 }
 
 // step executes one time slot.
@@ -140,8 +233,8 @@ func (e *engine) step() error {
 
 	if e.cfg.Observer != nil {
 		up := 0
-		for _, w := range e.workers {
-			if w.state == avail.Up {
+		for i := range e.workers {
+			if e.workers[i].state == avail.Up {
 				up++
 			}
 		}
@@ -160,15 +253,18 @@ func (e *engine) step() error {
 // advanceStates samples this slot's availability states and applies crash
 // consequences.
 func (e *engine) advanceStates() {
-	for i, w := range e.workers {
+	for i := range e.workers {
+		w := &e.workers[i]
 		next := e.cfg.Procs[i].Next()
 		if next == avail.Down && w.state != avail.Down {
 			e.stats.Crashes++
 			e.stats.WastedProgramSlots += int64(w.progRecv)
 			e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
-			for _, c := range w.crash() {
+			e.dropBuf = w.crash(e.dropBuf[:0])
+			for _, c := range e.dropBuf {
 				e.tasks[c.task].copies--
 				e.wasteCopy(c)
+				e.releaseCopy(c)
 			}
 		}
 		w.state = next
@@ -196,12 +292,14 @@ func (e *engine) schedule() error {
 					return fmt.Errorf("sim: scheduler %q cancelled invalid processor %d",
 						e.cfg.Scheduler.Name(), q)
 				}
-				w := e.workers[q]
-				for _, dropped := range w.dropAllCopies() {
+				w := &e.workers[q]
+				e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
+				for _, dropped := range e.dropBuf {
 					e.tasks[dropped.task].copies--
 					e.wasteCopy(dropped)
 					e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: q,
 						Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+					e.releaseCopy(dropped)
 				}
 			}
 			e.buildView() // cancellations changed pipeline state
@@ -215,8 +313,8 @@ func (e *engine) schedule() error {
 
 	// Eligible processors for originals: every UP processor.
 	up := e.eligible[:0]
-	for i, w := range e.workers {
-		if w.state == avail.Up {
+	for i := range e.workers {
+		if e.workers[i].state == avail.Up {
 			up = append(up, i)
 		}
 	}
@@ -225,31 +323,38 @@ func (e *engine) schedule() error {
 		return nil
 	}
 
-	rs := RoundState{NQ: make([]int, len(e.workers))}
+	rs := &e.rs
+	for q := range rs.NQ {
+		rs.NQ[q] = 0
+	}
+	rs.NActive = 0
 	// n_active measures how many workers compete for the master's card
 	// (Section 6.3.1: "the average slowdown encountered by a worker when
 	// communicating with the master"): the processors already engaged in
 	// begun work, plus — via notePick — each processor newly put to work
 	// during this round.
-	for _, w := range e.workers {
-		if w.busy() {
+	for i := range e.workers {
+		if e.workers[i].busy() {
 			rs.NActive++
 		}
 	}
 
 	// Originals: every incomplete task with no live copy. Planned copies
 	// are tracked so same-round replication (below) respects the cap.
-	plannedCopies := make(map[int]int)
+	plannedCopies := e.plannedCopies
+	for t := range plannedCopies {
+		plannedCopies[t] = 0
+	}
 	for t := range e.tasks {
 		if e.tasks[t].completed || e.tasks[t].copies > 0 {
 			continue
 		}
 		ti := TaskInfo{Task: t, Replica: false, Copies: 0}
-		pick := e.cfg.Scheduler.Pick(&e.view, up, &rs, ti)
+		pick := e.cfg.Scheduler.Pick(&e.view, up, rs, ti)
 		if pick == Decline {
 			continue
 		}
-		if err := e.notePick(&rs, pick, up); err != nil {
+		if err := e.notePick(rs, pick, up); err != nil {
 			return err
 		}
 		e.plans = append(e.plans, plannedAssignment{task: t, worker: pick, replica: 0})
@@ -264,12 +369,13 @@ func (e *engine) schedule() error {
 	if len(up) <= remaining || e.params.MaxReplicas == 0 {
 		return nil
 	}
-	idle := make([]int, 0, len(up))
+	idle := e.idle[:0]
 	for _, q := range up {
 		if !e.workers[q].busy() && rs.NQ[q] == 0 {
 			idle = append(idle, q)
 		}
 	}
+	e.idle = idle
 	if len(idle) == 0 {
 		return nil
 	}
@@ -293,11 +399,11 @@ func (e *engine) schedule() error {
 			break
 		}
 		ti := TaskInfo{Task: best, Replica: true, Copies: bestCopies}
-		pick := e.cfg.Scheduler.Pick(&e.view, idle, &rs, ti)
+		pick := e.cfg.Scheduler.Pick(&e.view, idle, rs, ti)
 		if pick == Decline {
 			break // a scheduler that declines replicas declines them all
 		}
-		if err := e.notePick(&rs, pick, idle); err != nil {
+		if err := e.notePick(rs, pick, idle); err != nil {
 			return err
 		}
 		e.plans = append(e.plans, plannedAssignment{task: best, worker: pick, replica: -1})
@@ -310,6 +416,7 @@ func (e *engine) schedule() error {
 			}
 		}
 	}
+	e.idle = idle
 	return nil
 }
 
@@ -345,11 +452,13 @@ func (e *engine) buildView() {
 	}
 	e.view.TasksRemaining = remaining
 	tprog := e.params.Tprog
-	for i, w := range e.workers {
+	for i := range e.workers {
+		w := &e.workers[i]
 		pv := &e.view.Procs[i]
 		pv.ID = i
 		pv.W = w.proc.W
 		pv.Model = w.proc.Avail
+		pv.Analytics = w.analytics
 		pv.State = w.state
 		pv.RemProgram = w.remProgram(tprog)
 		pv.HasComputing = w.computing != nil
@@ -375,26 +484,29 @@ func (e *engine) allocateChannels() int {
 	used := 0
 	tprog, tdata := e.params.Tprog, e.params.Tdata
 
-	// Continuations: bound chains on UP workers needing slots.
-	type cont struct{ worker, replica, task int }
-	var conts []cont
-	for i, w := range e.workers {
-		if w.state == avail.Up && w.needsTransfer(tprog) {
-			conts = append(conts, cont{worker: i, replica: w.incoming.replica, task: w.incoming.task})
+	// Continuations: bound chains on UP workers needing slots, originals
+	// (ascending worker) before replicas (ascending worker). Two ascending
+	// passes build that order directly — no sort needed, each worker holds
+	// at most one chain.
+	conts := e.conts[:0]
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.state == avail.Up && w.needsTransfer(tprog) && w.incoming.replica == 0 {
+			conts = append(conts, contRec{worker: i, replica: 0, task: w.incoming.task})
 		}
 	}
-	sort.Slice(conts, func(a, b int) bool {
-		ra, rb := conts[a].replica != 0, conts[b].replica != 0
-		if ra != rb {
-			return !ra // originals first
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.state == avail.Up && w.needsTransfer(tprog) && w.incoming.replica != 0 {
+			conts = append(conts, contRec{worker: i, replica: w.incoming.replica, task: w.incoming.task})
 		}
-		return conts[a].worker < conts[b].worker
-	})
+	}
+	e.conts = conts
 	for _, ct := range conts {
 		if used >= channels {
 			break
 		}
-		w := e.workers[ct.worker]
+		w := &e.workers[ct.worker]
 		progSlot := !w.hasProgram(tprog)
 		w.advanceTransfer(tprog, tdata)
 		used++
@@ -406,7 +518,7 @@ func (e *engine) allocateChannels() int {
 
 	// New materializations, in plan order (originals were planned first).
 	for _, pl := range e.plans {
-		w := e.workers[pl.worker]
+		w := &e.workers[pl.worker]
 		if w.state != avail.Up || w.incoming != nil {
 			continue // pipeline occupied (an earlier plan took the slot)
 		}
@@ -447,7 +559,7 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 		e.nextReplica[pl.task]++
 		replica = e.nextReplica[pl.task]
 	}
-	w.incoming = &copyState{task: pl.task, replica: replica}
+	w.incoming = e.newCopy(pl.task, replica)
 	e.tasks[pl.task].copies++
 	e.stats.CopiesStarted++
 	kind := EvDataStart
@@ -464,7 +576,8 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 // number of workers that computed.
 func (e *engine) compute() int {
 	computing := 0
-	for _, w := range e.workers {
+	for i := range e.workers {
+		w := &e.workers[i]
 		if w.state != avail.Up || w.computing == nil || !w.hasProgram(e.params.Tprog) {
 			continue
 		}
@@ -483,7 +596,8 @@ func (e *engine) compute() int {
 // tasks, promotes data-complete prefetches, and handles iteration barriers.
 func (e *engine) finishSlot() {
 	// Completions.
-	for _, w := range e.workers {
+	for i := range e.workers {
+		w := &e.workers[i]
 		c := w.computing
 		if c == nil || c.computeDone < w.proc.W {
 			continue
@@ -494,6 +608,7 @@ func (e *engine) finishSlot() {
 			// A sibling copy finished earlier in this same loop; this work
 			// is redundant.
 			e.wasteCopy(c)
+			e.releaseCopy(c)
 			continue
 		}
 		e.tasks[c.task].completed = true
@@ -501,22 +616,26 @@ func (e *engine) finishSlot() {
 		e.emit(Event{Slot: e.slot, Kind: EvTaskComplete, Worker: w.proc.ID,
 			Task: c.task, Replica: c.replica, Iteration: e.iter})
 		// Cancel all other live copies of this task.
-		for _, other := range e.workers {
-			if other == w {
+		for j := range e.workers {
+			if j == i {
 				continue
 			}
-			for _, dropped := range other.dropCopiesOf(c.task) {
+			other := &e.workers[j]
+			e.dropBuf = other.dropCopiesOf(c.task, e.dropBuf[:0])
+			for _, dropped := range e.dropBuf {
 				e.tasks[c.task].copies--
 				e.wasteCopy(dropped)
 				e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: other.proc.ID,
 					Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+				e.releaseCopy(dropped)
 			}
 		}
+		e.releaseCopy(c)
 	}
 
 	// Promotions: a data-complete prefetch starts computing next slot.
-	for _, w := range e.workers {
-		w.promote()
+	for i := range e.workers {
+		e.workers[i].promote()
 	}
 
 	// Iteration barrier.
@@ -542,11 +661,14 @@ func (e *engine) finishSlot() {
 		e.tasks[t] = taskState{}
 		e.nextReplica[t] = 0
 	}
-	for _, w := range e.workers {
-		for _, dropped := range w.dropAllCopies() {
+	for i := range e.workers {
+		w := &e.workers[i]
+		e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
+		for _, dropped := range e.dropBuf {
 			e.wasteCopy(dropped)
 			e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: w.proc.ID,
 				Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+			e.releaseCopy(dropped)
 		}
 	}
 }

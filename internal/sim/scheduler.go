@@ -25,6 +25,7 @@ package sim
 
 import (
 	"repro/internal/avail"
+	"repro/internal/expect"
 	"repro/internal/platform"
 )
 
@@ -38,6 +39,11 @@ type ProcView struct {
 	// Model is the availability model the master believes the processor
 	// follows (used by the informed heuristics).
 	Model *avail.Markov3
+	// Analytics caches the per-model Markov quantities (P+, E(up), the
+	// stationary distribution, UD's survival rate) so heuristics score
+	// candidates without re-deriving them every Pick. It is interned per
+	// model and always non-nil inside Pick/Cancel.
+	Analytics *expect.Analytics
 	// State is the availability state in the current slot.
 	State avail.State
 	// RemProgram is the number of program slots still to be received
@@ -71,6 +77,19 @@ type View struct {
 	// TasksRemaining is the number of tasks of the current iteration not yet
 	// completed.
 	TasksRemaining int
+}
+
+// FillAnalytics interns the per-model analytics of every processor that has
+// a model but no cache yet. The engine populates views itself; this helper
+// is for hand-built views (tests, external tooling driving schedulers
+// directly).
+func (v *View) FillAnalytics() {
+	for i := range v.Procs {
+		pv := &v.Procs[i]
+		if pv.Analytics == nil && pv.Model != nil {
+			pv.Analytics = expect.Of(pv.Model)
+		}
+	}
 }
 
 // RoundState accumulates the decisions already taken during one scheduling

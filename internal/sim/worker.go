@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/avail"
+	"repro/internal/expect"
 	"repro/internal/platform"
 )
 
@@ -23,6 +24,8 @@ type copyState struct {
 type workerState struct {
 	proc  *platform.Processor
 	state avail.State
+	// analytics is the interned per-model cache the scheduler view exposes.
+	analytics *expect.Analytics
 	// progRecv counts program slots held; == Tprog means the full program.
 	progRecv int
 	// computing is the copy being computed (data complete), if any.
@@ -43,51 +46,49 @@ func (w *workerState) remProgram(tprog int) int { return tprog - w.progRecv }
 func (w *workerState) busy() bool { return w.computing != nil || w.incoming != nil }
 
 // crash applies a transition into DOWN: the program, all task data and all
-// partial computation are lost (Section 3.2). It returns the copies that
-// were killed so the engine can update task bookkeeping.
-func (w *workerState) crash() []*copyState {
-	var killed []*copyState
+// partial computation are lost (Section 3.2). It appends the killed copies
+// to buf (a caller-owned scratch buffer, so the steady-state hot path stays
+// allocation-free) and returns the extended buffer.
+func (w *workerState) crash(buf []*copyState) []*copyState {
 	if w.computing != nil {
-		killed = append(killed, w.computing)
+		buf = append(buf, w.computing)
 		w.computing = nil
 	}
 	if w.incoming != nil {
-		killed = append(killed, w.incoming)
+		buf = append(buf, w.incoming)
 		w.incoming = nil
 	}
 	w.progRecv = 0
-	return killed
+	return buf
 }
 
 // dropCopiesOf removes any copy of the given task from the worker (used when
-// another copy completed, and at iteration barriers). It returns the dropped
-// copies for waste accounting. The program is kept: only DOWN loses it.
-func (w *workerState) dropCopiesOf(task int) []*copyState {
-	var dropped []*copyState
+// another copy completed, and at iteration barriers), appending the dropped
+// copies to buf for waste accounting. The program is kept: only DOWN loses it.
+func (w *workerState) dropCopiesOf(task int, buf []*copyState) []*copyState {
 	if w.computing != nil && w.computing.task == task {
-		dropped = append(dropped, w.computing)
+		buf = append(buf, w.computing)
 		w.computing = nil
 	}
 	if w.incoming != nil && w.incoming.task == task {
-		dropped = append(dropped, w.incoming)
+		buf = append(buf, w.incoming)
 		w.incoming = nil
 	}
-	return dropped
+	return buf
 }
 
-// dropAllCopies clears the whole pipeline (iteration barrier) and returns
-// the dropped copies.
-func (w *workerState) dropAllCopies() []*copyState {
-	var dropped []*copyState
+// dropAllCopies clears the whole pipeline (iteration barrier), appending the
+// dropped copies to buf.
+func (w *workerState) dropAllCopies(buf []*copyState) []*copyState {
 	if w.computing != nil {
-		dropped = append(dropped, w.computing)
+		buf = append(buf, w.computing)
 		w.computing = nil
 	}
 	if w.incoming != nil {
-		dropped = append(dropped, w.incoming)
+		buf = append(buf, w.incoming)
 		w.incoming = nil
 	}
-	return dropped
+	return buf
 }
 
 // needsTransfer reports whether the worker's bound chain still needs channel

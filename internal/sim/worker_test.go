@@ -91,7 +91,7 @@ func TestWorkerCrashLosesEverything(t *testing.T) {
 	w.progRecv = 2
 	w.computing = &copyState{task: 1, dataDone: true, computeDone: 1}
 	w.incoming = &copyState{task: 2, dataRecv: 1}
-	killed := w.crash()
+	killed := w.crash(nil)
 	if len(killed) != 2 {
 		t.Fatalf("crash killed %d copies, want 2", len(killed))
 	}
@@ -105,7 +105,7 @@ func TestWorkerDropCopiesOfKeepsProgram(t *testing.T) {
 	w.progRecv = 2
 	w.computing = &copyState{task: 1, dataDone: true}
 	w.incoming = &copyState{task: 1, replica: 1}
-	dropped := w.dropCopiesOf(1)
+	dropped := w.dropCopiesOf(1, nil)
 	if len(dropped) != 2 {
 		t.Fatalf("dropped %d, want 2", len(dropped))
 	}
@@ -114,7 +114,7 @@ func TestWorkerDropCopiesOfKeepsProgram(t *testing.T) {
 	}
 	// Other tasks untouched.
 	w.computing = &copyState{task: 5, dataDone: true}
-	if n := len(w.dropCopiesOf(1)); n != 0 {
+	if n := len(w.dropCopiesOf(1, nil)); n != 0 {
 		t.Fatalf("dropped %d copies of absent task", n)
 	}
 	if w.computing == nil {
@@ -126,7 +126,7 @@ func TestWorkerDropAllCopies(t *testing.T) {
 	w := testWorker(2)
 	w.computing = &copyState{task: 0, dataDone: true}
 	w.incoming = &copyState{task: 1}
-	if n := len(w.dropAllCopies()); n != 2 {
+	if n := len(w.dropAllCopies(nil)); n != 2 {
 		t.Fatalf("dropAllCopies returned %d", n)
 	}
 	if w.busy() {

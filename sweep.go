@@ -2,6 +2,7 @@ package volatile
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -101,12 +102,18 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	var wg sync.WaitGroup
 	jobCh := make(chan int)
 	errCh := make(chan error, workers)
+	// stop is closed on the first worker error so the feeder below never
+	// blocks on a channel no worker is draining (a worker that aborts stops
+	// receiving; with an unbuffered jobCh the feed would deadlock otherwise).
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var doneMu sync.Mutex
 	done := 0
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			runner := NewRunner()
 			for ji := range jobCh {
 				j := jobs[ji]
 				scn := scenarios[j.cellIdx*cfg.Scenarios+j.scenIdx]
@@ -117,12 +124,13 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				}
 				nCens := 0
 				for _, h := range heuristics {
-					res, err := scn.Run(h, trialSeed)
+					res, err := scn.RunWith(runner, h, trialSeed)
 					if err != nil {
 						select {
 						case errCh <- fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err):
 						default:
 						}
+						stopOnce.Do(func() { close(stop) })
 						return
 					}
 					ir.Makespans[h] = res.Makespan
@@ -143,8 +151,13 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			}
 		}()
 	}
+feed:
 	for ji := range jobs {
-		jobCh <- ji
+		select {
+		case jobCh <- ji:
+		case <-stop:
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()
@@ -233,8 +246,9 @@ func Table3Config(commScale, scenarios, trials int, seed uint64) SweepConfig {
 }
 
 // Figure2Series extracts, for each named heuristic, its average dfb per
-// wmin value (ascending), ready for plotting. Missing samples are NaN-free:
-// wmin values absent from the sweep are skipped.
+// wmin value (ascending), ready for plotting. A heuristic absent from every
+// wmin bucket is omitted from the series map; individual missing samples are
+// NaN (never 0, which would read as "tied-best").
 func Figure2Series(res *SweepResult, heuristics []string) (wmins []int, series map[string][]float64) {
 	for wmin := range res.ByWmin {
 		wmins = append(wmins, wmin)
@@ -243,19 +257,28 @@ func Figure2Series(res *SweepResult, heuristics []string) (wmins []int, series m
 	series = make(map[string][]float64, len(heuristics))
 	for _, h := range heuristics {
 		ys := make([]float64, len(wmins))
+		any := false
 		for i, wmin := range wmins {
-			ys[i] = rowValue(res.ByWmin[wmin], h)
+			v, ok := rowValue(res.ByWmin[wmin], h)
+			if ok {
+				any = true
+			}
+			ys[i] = v
 		}
-		series[h] = ys
+		if any {
+			series[h] = ys
+		}
 	}
 	return wmins, series
 }
 
-func rowValue(rows []TableRow, name string) float64 {
+// rowValue looks a heuristic up in a ranking. Absent heuristics report
+// (NaN, false) so callers cannot mistake missing data for a perfect score.
+func rowValue(rows []TableRow, name string) (float64, bool) {
 	for _, r := range rows {
 		if r.Name == name {
-			return r.AvgDFB
+			return r.AvgDFB, true
 		}
 	}
-	return 0
+	return math.NaN(), false
 }

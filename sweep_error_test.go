@@ -1,0 +1,67 @@
+package volatile
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// failingSched behaves during RunSweep's up-front heuristic check (its first
+// instance) and then violates the scheduler protocol on every sweep run, so
+// every worker hits the error path.
+type failingSched struct{ ok bool }
+
+func (s *failingSched) Name() string { return "test-failing" }
+func (s *failingSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	if s.ok {
+		return eligible[0]
+	}
+	return -99 // ineligible: the engine reports a scheduler protocol error
+}
+
+// TestRunSweepErrorReturnsInsteadOfDeadlocking is the regression test for
+// the sweep error path: when all workers abort, the unbuffered job feed must
+// be released (it used to block forever once no worker was left receiving)
+// and the first error must surface.
+func TestRunSweepErrorReturnsInsteadOfDeadlocking(t *testing.T) {
+	var instances atomic.Int64
+	if err := core.Register("test-failing", func(*rng.PCG) sim.Scheduler {
+		return &failingSched{ok: instances.Add(1) == 1}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SweepConfig{
+		Cells:      []Cell{{Tasks: 2, Ncom: 2, Wmin: 1}},
+		Heuristics: []string{"test-failing"},
+		Scenarios:  4,
+		Trials:     2,
+		Seed:       7,
+		Workers:    2, // fewer workers than jobs: the feeder must outlive their abort
+	}
+	type outcome struct {
+		res *SweepResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := RunSweep(cfg)
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err == nil {
+			t.Fatalf("RunSweep = %+v, want a scheduler error", out.res)
+		}
+		if !strings.Contains(out.err.Error(), "test-failing") {
+			t.Fatalf("error %q does not name the failing heuristic", out.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunSweep deadlocked on the all-workers-error path")
+	}
+}

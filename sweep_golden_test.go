@@ -1,0 +1,89 @@
+package volatile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenSweepDigest is the SHA-256 of the formatted output of goldenSweep's
+// fixed-seed sweep, captured on the unoptimized engine (pre analytics
+// memoization / zero-alloc rework). Hot-path changes must keep RunSweep
+// bit-identical: any digest drift means a behavioural change, not a speedup.
+const goldenSweepDigest = "8de096277aed7afc08505d91809b2d82434bb75476b7c4afaadebc8a99b3f51f"
+
+func goldenSweepConfig() SweepConfig {
+	return SweepConfig{
+		Cells: []Cell{
+			{Tasks: 5, Ncom: 5, Wmin: 1},
+			{Tasks: 10, Ncom: 10, Wmin: 3},
+			{Tasks: 20, Ncom: 5, Wmin: 10},
+			{Tasks: 40, Ncom: 20, Wmin: 5},
+		},
+		Scenarios: 2,
+		Trials:    2,
+		Seed:      42,
+	}
+}
+
+// formatSweep renders every field of a SweepResult deterministically and at
+// full float precision, so the digest is sensitive to any numeric change.
+func formatSweep(res *SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instances=%d censored=%d\n", res.Instances, res.Censored)
+	writeRows := func(label string, rows []TableRow) {
+		fmt.Fprintf(&b, "[%s]\n", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s %s %d\n", r.Name, strconv.FormatFloat(r.AvgDFB, 'g', -1, 64), r.Wins)
+		}
+	}
+	writeRows("overall", res.Overall)
+	wmins := make([]int, 0, len(res.ByWmin))
+	for w := range res.ByWmin {
+		wmins = append(wmins, w)
+	}
+	sort.Ints(wmins)
+	for _, w := range wmins {
+		writeRows(fmt.Sprintf("wmin=%d", w), res.ByWmin[w])
+	}
+	cells := make([]Cell, 0, len(res.ByCell))
+	for c := range res.ByCell {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Tasks != cells[j].Tasks {
+			return cells[i].Tasks < cells[j].Tasks
+		}
+		if cells[i].Ncom != cells[j].Ncom {
+			return cells[i].Ncom < cells[j].Ncom
+		}
+		return cells[i].Wmin < cells[j].Wmin
+	})
+	for _, c := range cells {
+		writeRows(c.String(), res.ByCell[c])
+	}
+	return b.String()
+}
+
+// TestRunSweepGolden locks the exact numeric output of a fixed-seed sweep
+// across all 17 heuristics and a spread of grid cells (light, heavy,
+// contention-prone). It is the regression guard for the engine and heuristic
+// hot paths: optimizations must not move a single bit.
+func TestRunSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is a few seconds long")
+	}
+	res, err := RunSweep(goldenSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := formatSweep(res)
+	sum := sha256.Sum256([]byte(text))
+	if got := hex.EncodeToString(sum[:]); got != goldenSweepDigest {
+		t.Errorf("sweep digest drifted:\n got  %s\n want %s\noutput:\n%s", got, goldenSweepDigest, text)
+	}
+}

@@ -181,21 +181,39 @@ func (s *Scenario) ProcessorModel(i int) *avail.Markov3 {
 	return s.inner.Platform.Processors[i].Avail
 }
 
+// Runner wraps a reusable simulation engine. Tight loops (sweeps,
+// benchmarks) that execute many runs on one goroutine should create one
+// Runner and pass it to RunWith: every engine-internal buffer (worker
+// states, task tables, scheduler view, scratch, the copy pool) is then
+// recycled across runs instead of reallocated. Results are identical to
+// Run's. A Runner must not be shared between goroutines.
+type Runner struct {
+	r sim.Runner
+}
+
+// NewRunner returns a reusable Runner; its first run sizes the buffers.
+func NewRunner() *Runner { return &Runner{} }
+
 // Run executes the named heuristic on one trial of the scenario. The trial
 // seed determines the availability trajectories and any heuristic
 // randomness; the same (scenario, trialSeed) pair confronts every heuristic
 // with the same world.
 func (s *Scenario) Run(heuristic string, trialSeed uint64) (*RunResult, error) {
-	return s.run(heuristic, trialSeed, nil, nil)
+	return s.run(nil, heuristic, trialSeed, nil, nil)
+}
+
+// RunWith is Run on a reusable Runner (nil falls back to a one-shot engine).
+func (s *Scenario) RunWith(r *Runner, heuristic string, trialSeed uint64) (*RunResult, error) {
+	return s.run(r, heuristic, trialSeed, nil, nil)
 }
 
 // RunWithHooks is Run with optional per-slot observer and event callbacks.
 func (s *Scenario) RunWithHooks(heuristic string, trialSeed uint64,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
-	return s.run(heuristic, trialSeed, observer, onEvent)
+	return s.run(nil, heuristic, trialSeed, observer, onEvent)
 }
 
-func (s *Scenario) run(heuristic string, trialSeed uint64,
+func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
 	trialRng := rng.New(trialSeed)
 	procs := s.inner.Trial(trialRng)
@@ -203,14 +221,18 @@ func (s *Scenario) run(heuristic string, trialSeed uint64,
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{
+	cfg := sim.Config{
 		Platform:  s.inner.Platform,
 		Params:    s.inner.Params,
 		Procs:     procs,
 		Scheduler: sched,
 		Observer:  observer,
 		OnEvent:   onEvent,
-	})
+	}
+	if r == nil {
+		return sim.Run(cfg)
+	}
+	return r.r.Run(cfg)
 }
 
 // RunTrace executes the named heuristic against explicit availability
