@@ -277,6 +277,35 @@ func BenchmarkAblationSchedulingClasses(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSweep measures sweep-pipeline scaling across worker counts on
+// a reduced grid: 2 cells × 8 scenarios × 1 trial, all 17 heuristics, i.e.
+// 16 equally sized chunks for the sharded committer to reorder. Near-linear
+// scaling from 1 to 4 workers is the acceptance bar for the sharded
+// aggregation (no serial post-pass, no shared locks in the hot loop).
+func BenchmarkRunSweep(b *testing.B) {
+	cells := []Cell{{Tasks: 20, Ncom: 10, Wmin: 5}, {Tasks: 20, Ncom: 5, Wmin: 5}}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunSweep(SweepConfig{
+					Cells:     cells,
+					Scenarios: 8,
+					Trials:    1,
+					Seed:      42,
+					Workers:   workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Instances == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSingleRunHeavy measures engine throughput on the heaviest grid
 // cell (n=40, ncom=5, wmin=10).
 func BenchmarkSingleRunHeavy(b *testing.B) {

@@ -7,6 +7,8 @@
 //	volabench -exp ablation            replication & correction ablations
 //	volabench -exp emctgain            EMCT-vs-MCT makespan ratio + Wilcoxon
 //	volabench -exp emctgain-norepl     the same with replication disabled
+//	volabench -exp tracesweep          Table 2 layout on synthetic FTA-style
+//	                                   traces (-trace-style, -trace-len)
 //	volabench -print-grid              the Table 1 parameter grid
 //
 // -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
@@ -27,14 +29,16 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl")
-		scenarios = flag.Int("scenarios", 6, "scenarios per grid cell")
-		trials    = flag.Int("trials", 4, "trials per scenario")
-		seed      = flag.Uint64("seed", 42, "sweep seed")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		csvPath   = flag.String("csv", "", "also write results to this CSV file")
-		grid      = flag.Bool("print-grid", false, "print the Table 1 grid and exit")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep")
+		scenarios  = flag.Int("scenarios", 6, "scenarios per grid cell")
+		trials     = flag.Int("trials", 4, "trials per scenario")
+		seed       = flag.Uint64("seed", 42, "sweep seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		csvPath    = flag.String("csv", "", "also write results to this CSV file")
+		grid       = flag.Bool("print-grid", false, "print the Table 1 grid and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		traceStyle = flag.String("trace-style", "weibull", "tracesweep sojourn family: weibull|pareto|lognormal")
+		traceLen   = flag.Int("trace-len", 1000, "tracesweep vector length in slots")
 	)
 	flag.Parse()
 
@@ -83,6 +87,30 @@ func main() {
 		res := mustSweep(cfg)
 		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
 			scale, res.Instances, time.Since(start).Round(time.Second))
+		printRows(res.Overall, *csvPath)
+
+	case "tracesweep":
+		style, err := parseTraceStyle(*traceStyle)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volabench:", err)
+			os.Exit(2)
+		}
+		res, err := volatile.TraceSweep(volatile.TraceSweepConfig{
+			Cells:     volatile.PaperGrid(),
+			Scenarios: *scenarios,
+			Trials:    *trials,
+			TraceLen:  *traceLen,
+			Style:     style,
+			Seed:      *seed,
+			Workers:   *workers,
+			Progress:  progress,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Trace-driven Table 2 — synthetic %s traces, %d slots each (%d instances, %d censored runs, %v)\n\n",
+			style, *traceLen, res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
 
 	case "ablation":
@@ -245,6 +273,18 @@ func runEMCTGain(scenarios, trials int, seed uint64, noReplication bool) {
 	verdict, err := stats.PairedComparison("emct", "mct", emct, mct)
 	fatalIf(err)
 	fmt.Println(" ", verdict)
+}
+
+func parseTraceStyle(name string) (volatile.TraceStyle, error) {
+	switch name {
+	case "weibull":
+		return volatile.TraceWeibull, nil
+	case "pareto":
+		return volatile.TracePareto, nil
+	case "lognormal":
+		return volatile.TraceLogNormal, nil
+	}
+	return 0, fmt.Errorf("unknown trace style %q (weibull|pareto|lognormal)", name)
 }
 
 func fatalIf(err error) {

@@ -278,3 +278,45 @@ func BenchmarkMarkov3Next(b *testing.B) {
 		_ = p.Next()
 	}
 }
+
+func TestMarkov3ProcessResetMatchesNew(t *testing.T) {
+	m := MustMarkov3([3][3]float64{
+		{0.9, 0.05, 0.05},
+		{0.1, 0.85, 0.05},
+		{0.2, 0.1, 0.7},
+	})
+	fresh := m.NewProcess(rng.New(5), Reclaimed)
+	var pooled Markov3Process
+	pooled.Reset(m, rng.New(5), Reclaimed)
+	for i := 0; i < 200; i++ {
+		if a, b := fresh.Next(), pooled.Next(); a != b {
+			t.Fatalf("slot %d: fresh %v vs reset %v", i, a, b)
+		}
+	}
+	// Reset after use rewinds to a brand-new trajectory.
+	pooled.Reset(m, rng.New(5), Reclaimed)
+	if got := pooled.Next(); got != Reclaimed {
+		t.Fatalf("reset process started in %v, want initial Reclaimed", got)
+	}
+}
+
+func TestVectorProcessReset(t *testing.T) {
+	v1, _ := ParseVector("urd")
+	v2, _ := ParseVector("du")
+	p := NewVectorProcess(v1)
+	p.Next()
+	p.Reset(v2)
+	if a, b := p.Next(), p.Next(); a != Down || b != Up {
+		t.Fatalf("reset replay = %v,%v, want d,u", a, b)
+	}
+	// Past the end it holds the last state, as a fresh process would.
+	if got := p.Next(); got != Up {
+		t.Fatalf("post-end state %v, want u", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset accepted an empty vector")
+		}
+	}()
+	p.Reset(nil)
+}

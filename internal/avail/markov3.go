@@ -139,6 +139,17 @@ type Markov3Process struct {
 	r       *rng.PCG
 }
 
+// Reset re-points the process at model, driven by r from the given initial
+// state, reusing the allocation. It leaves the process exactly as
+// model.NewProcess(r, initial) would construct it; pooled trial scratch
+// (workload.TrialPool) resets recycled processes instead of allocating.
+func (p *Markov3Process) Reset(model *Markov3, r *rng.PCG, initial State) {
+	if !initial.Valid() {
+		panic("avail: invalid initial state")
+	}
+	*p = Markov3Process{model: model, state: initial, r: r}
+}
+
 // Next implements Process: the first call yields the initial state (slot 0),
 // each later call advances the chain by one transition.
 func (p *Markov3Process) Next() State {

@@ -144,6 +144,15 @@ func NewVectorProcess(v Vector) *VectorProcess {
 	return &VectorProcess{v: v}
 }
 
+// Reset re-points the process at v and rewinds it to slot 0, reusing the
+// allocation. It panics if v is empty, matching NewVectorProcess.
+func (p *VectorProcess) Reset(v Vector) {
+	if len(v) == 0 {
+		panic("avail: empty vector")
+	}
+	p.v, p.pos = v, 0
+}
+
 // Next implements Process.
 func (p *VectorProcess) Next() State {
 	if p.pos < len(p.v) {

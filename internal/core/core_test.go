@@ -517,3 +517,24 @@ func BenchmarkEMCTPick(b *testing.B) {
 		_ = s.Pick(v, eligible, rs, sim.TaskInfo{})
 	}
 }
+
+func TestLookupDoesNotInstantiate(t *testing.T) {
+	// Lookup must resolve every registered name without constructing a
+	// scheduler (sweep validation relies on this being cheap), and reject
+	// unknown names with the same error New reports.
+	for _, name := range Names() {
+		if _, err := Lookup(name); err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+	}
+	f, err := Lookup("emct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f(nil); s.Name() != "emct" {
+		t.Fatalf("factory built %q, want emct", s.Name())
+	}
+	if _, err := Lookup("definitely-not-registered"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -91,11 +91,23 @@ func Register(name string, f Factory) error {
 	return nil
 }
 
-// New instantiates the named heuristic.
-func New(name string, r *rng.PCG) (sim.Scheduler, error) {
+// Lookup returns the factory registered under name without instantiating a
+// scheduler. It is the cheap existence check sweep validation performs
+// before committing to a run. Like New, it is not safe for concurrent use
+// with Register.
+func Lookup(name string) (Factory, error) {
 	f, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown heuristic %q (see core.Names)", name)
+	}
+	return f, nil
+}
+
+// New instantiates the named heuristic.
+func New(name string, r *rng.PCG) (sim.Scheduler, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return f(r), nil
 }

@@ -31,11 +31,20 @@ const (
 // New returns a generator seeded from the given 64-bit seed. Two generators
 // built from the same seed produce identical streams.
 func New(seed uint64) *PCG {
+	p := &PCG{}
+	p.Reseed(seed)
+	return p
+}
+
+// Reseed resets p in place to the exact state New(seed) would construct,
+// without allocating. Tight loops that need one fresh generator per
+// iteration (per-trial streams in sweeps) reseed a pooled PCG instead of
+// allocating a new one.
+func (p *PCG) Reseed(seed uint64) {
 	sm := SplitMix64(seed)
-	p := &PCG{hi: sm.Next(), lo: sm.Next()}
+	p.hi, p.lo = sm.Next(), sm.Next()
 	// Advance once so that nearby seeds diverge immediately.
 	p.Uint64()
-	return p
 }
 
 // NewFromState returns a generator with the exact 128-bit internal state.
@@ -69,7 +78,17 @@ func mulHiLoUpper(lo uint64) uint64 {
 // stream advances; the child is seeded from fresh parent output, so repeated
 // Split calls yield distinct, reproducible children.
 func (p *PCG) Split() *PCG {
-	return &PCG{hi: p.Uint64(), lo: p.Uint64() | 1}
+	child := &PCG{}
+	p.SplitInto(child)
+	return child
+}
+
+// SplitInto is Split into caller-owned storage: child receives the exact
+// state a Split call would have produced (the parent advances identically),
+// but no allocation occurs. p and child must not alias.
+func (p *PCG) SplitInto(child *PCG) {
+	child.hi = p.Uint64()
+	child.lo = p.Uint64() | 1
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

@@ -346,3 +346,38 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = p.Float64()
 	}
 }
+
+// TestReseedMatchesNew pins the pooled-reseed contract: a reused generator
+// reseeded in place must replay the exact stream a freshly allocated one
+// produces, for every seed.
+func TestReseedMatchesNew(t *testing.T) {
+	var pooled PCG
+	for seed := uint64(0); seed < 50; seed++ {
+		fresh := New(seed)
+		pooled.Reseed(seed)
+		for i := 0; i < 16; i++ {
+			if f, p := fresh.Uint64(), pooled.Uint64(); f != p {
+				t.Fatalf("seed %d draw %d: New %d vs Reseed %d", seed, i, f, p)
+			}
+		}
+	}
+}
+
+// TestSplitIntoMatchesSplit pins the pooled-split contract: SplitInto must
+// leave both parent and child in exactly the states Split would have.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a, b := New(99), New(99)
+	var child PCG
+	for i := 0; i < 20; i++ {
+		ca := a.Split()
+		b.SplitInto(&child)
+		for j := 0; j < 8; j++ {
+			if x, y := ca.Uint64(), child.Uint64(); x != y {
+				t.Fatalf("split %d draw %d: %d vs %d", i, j, x, y)
+			}
+		}
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("parents diverged after split %d: %d vs %d", i, x, y)
+		}
+	}
+}

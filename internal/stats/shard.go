@@ -1,0 +1,81 @@
+package stats
+
+// This file implements the sharded side of sweep aggregation.
+//
+// Floating-point addition is order-sensitive, so an aggregate built from
+// instances processed by many workers is bit-identical to a sequential pass
+// only if the per-instance contributions are replayed in the sequential
+// order. A ShardAggregator buffers the instances of one deterministic slice
+// of a sweep (one worker's current work chunk) in processing order; Merge
+// then replays completed shards — in chunk order — into the destination
+// Aggregators, reproducing the exact Add sequence a single-threaded pass
+// would have performed. Shards recycle their InstanceResults across chunks,
+// so steady-state sweep memory is bounded by the number of in-flight
+// chunks, not by the total instance count.
+
+// ShardAggregator buffers the InstanceResults of one contiguous slice of a
+// sweep in processing order, ready for a deterministic Merge. It also pools
+// retired InstanceResults (Acquire/Reset) so a long sweep reuses a bounded
+// set of result objects. A ShardAggregator must not be used concurrently.
+type ShardAggregator struct {
+	irs      []*InstanceResult
+	censored int
+	free     []*InstanceResult
+}
+
+// NewShardAggregator returns an empty shard.
+func NewShardAggregator() *ShardAggregator { return &ShardAggregator{} }
+
+// Acquire returns an InstanceResult with empty maps, reusing one retired by
+// a previous Reset when available. The caller fills it and hands it back via
+// Add; results not Added are simply dropped.
+func (s *ShardAggregator) Acquire() *InstanceResult {
+	if n := len(s.free); n > 0 {
+		ir := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		clear(ir.Makespans)
+		clear(ir.Censored)
+		return ir
+	}
+	return &InstanceResult{Makespans: make(map[string]int), Censored: make(map[string]bool)}
+}
+
+// Add appends one completed instance, with the number of censored runs it
+// contained, preserving arrival order.
+func (s *ShardAggregator) Add(ir *InstanceResult, censoredRuns int) {
+	s.irs = append(s.irs, ir)
+	s.censored += censoredRuns
+}
+
+// Instances reports the number of buffered instances.
+func (s *ShardAggregator) Instances() int { return len(s.irs) }
+
+// CensoredRuns reports the total censored-run count across buffered
+// instances.
+func (s *ShardAggregator) CensoredRuns() int { return s.censored }
+
+// Reset retires every buffered instance into the reuse pool and clears the
+// counters, preparing the shard for its next chunk.
+func (s *ShardAggregator) Reset() {
+	s.free = append(s.free, s.irs...)
+	for i := range s.irs {
+		s.irs[i] = nil
+	}
+	s.irs = s.irs[:0]
+	s.censored = 0
+}
+
+// Merge replays every instance buffered in shard, in insertion order, into
+// each destination aggregator. Because the replay performs the same Add
+// calls in the same order a sequential pass would, merging shards in their
+// deterministic chunk order yields destination aggregates that are
+// bit-identical to single-threaded aggregation, independent of how many
+// workers filled the shards.
+func Merge(shard *ShardAggregator, dsts ...*Aggregator) {
+	for _, ir := range shard.irs {
+		for _, d := range dsts {
+			d.Add(ir)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// mkInstances builds a deterministic pseudo-random stream of instances whose
+// dfb values are "ragged" floats, so any change in summation order shows up
+// in the mean's low bits.
+func mkInstances(n int) []*InstanceResult {
+	out := make([]*InstanceResult, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state >> 33)
+	}
+	for i := range out {
+		ir := &InstanceResult{Makespans: map[string]int{}, Censored: map[string]bool{}}
+		for _, h := range []string{"a", "b", "c"} {
+			ir.Makespans[h] = 90 + next()%37
+			if next()%11 == 0 {
+				ir.Censored[h] = true
+			}
+		}
+		out[i] = ir
+	}
+	return out
+}
+
+// TestMergeMatchesSequential is the core determinism property of the shard
+// layer: chunking a stream of instances into shards of any size and merging
+// the shards in order must be bit-identical (exact float equality) to adding
+// every instance to the destinations directly.
+func TestMergeMatchesSequential(t *testing.T) {
+	instances := mkInstances(97)
+	for _, chunk := range []int{1, 2, 7, 32, 97, 1000} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			seq := NewAggregator()
+			for _, ir := range instances {
+				seq.Add(ir)
+			}
+
+			sharded := NewAggregator()
+			shard := NewShardAggregator()
+			for lo := 0; lo < len(instances); lo += chunk {
+				hi := min(lo+chunk, len(instances))
+				shard.Reset()
+				for _, src := range instances[lo:hi] {
+					ir := shard.Acquire()
+					for h, ms := range src.Makespans {
+						ir.Makespans[h] = ms
+					}
+					for h, c := range src.Censored {
+						ir.Censored[h] = c
+					}
+					shard.Add(ir, len(src.Censored))
+				}
+				Merge(shard, sharded)
+			}
+
+			if seq.Instances() != sharded.Instances() {
+				t.Fatalf("instances: sequential %d, sharded %d", seq.Instances(), sharded.Instances())
+			}
+			if !reflect.DeepEqual(seq.Rows(), sharded.Rows()) {
+				t.Fatalf("rows diverged:\nsequential %+v\nsharded    %+v", seq.Rows(), sharded.Rows())
+			}
+		})
+	}
+}
+
+// TestMergeMultipleDestinations checks that one replay feeds every
+// destination, mirroring how a sweep folds each chunk into the overall,
+// per-wmin and per-cell aggregates at once.
+func TestMergeMultipleDestinations(t *testing.T) {
+	shard := NewShardAggregator()
+	ir := shard.Acquire()
+	ir.Makespans["a"], ir.Makespans["b"] = 100, 150
+	shard.Add(ir, 0)
+
+	overall, bucket := NewAggregator(), NewAggregator()
+	Merge(shard, overall, bucket)
+	for _, a := range []*Aggregator{overall, bucket} {
+		if a.Instances() != 1 {
+			t.Fatalf("destination saw %d instances, want 1", a.Instances())
+		}
+		if v, ok := a.AvgDFB("b"); !ok || v != 50 {
+			t.Fatalf("AvgDFB(b) = %v/%v, want 50", v, ok)
+		}
+	}
+}
+
+// TestShardAggregatorRecycles pins the pooling contract: after Reset, the
+// next Acquire hands back a previously retired InstanceResult with cleared
+// maps, and the shard's counters restart from zero.
+func TestShardAggregatorRecycles(t *testing.T) {
+	shard := NewShardAggregator()
+	first := shard.Acquire()
+	first.Makespans["x"] = 7
+	first.Censored["x"] = true
+	shard.Add(first, 1)
+	if shard.Instances() != 1 || shard.CensoredRuns() != 1 {
+		t.Fatalf("shard counters = %d/%d, want 1/1", shard.Instances(), shard.CensoredRuns())
+	}
+
+	shard.Reset()
+	if shard.Instances() != 0 || shard.CensoredRuns() != 0 {
+		t.Fatalf("post-Reset counters = %d/%d", shard.Instances(), shard.CensoredRuns())
+	}
+	second := shard.Acquire()
+	if second != first {
+		t.Fatal("Reset did not recycle the retired InstanceResult")
+	}
+	if len(second.Makespans) != 0 || len(second.Censored) != 0 {
+		t.Fatalf("recycled maps not cleared: %v / %v", second.Makespans, second.Censored)
+	}
+}
+
+// TestMergeEmptyShard ensures an empty shard is a no-op.
+func TestMergeEmptyShard(t *testing.T) {
+	a := NewAggregator()
+	Merge(NewShardAggregator(), a)
+	if a.Instances() != 0 || len(a.Rows()) != 0 {
+		t.Fatalf("empty merge mutated the destination: %+v", a.Rows())
+	}
+}

@@ -43,17 +43,31 @@ func (ir *InstanceResult) Best() (best int, ok bool) {
 	return best, ok
 }
 
+// accum is the running per-heuristic aggregate: a left-to-right sum of dfb
+// samples (in Add order, so results are bit-identical to summing a stored
+// sample slice), their count, and the win count.
+type accum struct {
+	sum   float64
+	count int
+	wins  int
+}
+
 // Aggregator accumulates per-heuristic dfb values and win counts over many
-// instances, as the paper's Table 2 does.
+// instances, as the paper's Table 2 does. It keeps running sums only, so its
+// memory is O(heuristics) regardless of how many instances it has seen.
+//
+// Because floating-point addition is order-sensitive, two Aggregators are
+// bit-identical only when they received the same instances in the same
+// order; sharded sweeps therefore replay shards in a deterministic order
+// (see ShardAggregator and Merge).
 type Aggregator struct {
-	dfbs map[string][]float64
-	wins map[string]int
-	n    int
+	acc map[string]*accum
+	n   int
 }
 
 // NewAggregator returns an empty aggregator.
 func NewAggregator() *Aggregator {
-	return &Aggregator{dfbs: make(map[string][]float64), wins: make(map[string]int)}
+	return &Aggregator{acc: make(map[string]*accum)}
 }
 
 // Add folds one instance into the aggregate. Censored heuristics receive the
@@ -66,9 +80,15 @@ func (a *Aggregator) Add(ir *InstanceResult) {
 	}
 	a.n++
 	for name, ms := range ir.Makespans {
-		a.dfbs[name] = append(a.dfbs[name], DFB(ms, best))
+		ac := a.acc[name]
+		if ac == nil {
+			ac = &accum{}
+			a.acc[name] = ac
+		}
+		ac.sum += DFB(ms, best)
+		ac.count++
 		if !ir.Censored[name] && ms == best {
-			a.wins[name]++
+			ac.wins++
 		}
 	}
 }
@@ -89,9 +109,9 @@ type Row struct {
 // Rows returns the aggregate sorted by increasing average dfb
 // (best heuristic first), matching the layout of Table 2.
 func (a *Aggregator) Rows() []Row {
-	out := make([]Row, 0, len(a.dfbs))
-	for name, values := range a.dfbs {
-		out = append(out, Row{Name: name, AvgDFB: Mean(values), Wins: a.wins[name]})
+	out := make([]Row, 0, len(a.acc))
+	for name, ac := range a.acc {
+		out = append(out, Row{Name: name, AvgDFB: ac.sum / float64(ac.count), Wins: ac.wins})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].AvgDFB != out[j].AvgDFB {
@@ -105,11 +125,11 @@ func (a *Aggregator) Rows() []Row {
 // AvgDFB returns the mean dfb of one heuristic; ok is false when the
 // heuristic has no samples.
 func (a *Aggregator) AvgDFB(name string) (float64, bool) {
-	v, ok := a.dfbs[name]
-	if !ok || len(v) == 0 {
+	ac, ok := a.acc[name]
+	if !ok || ac.count == 0 {
 		return 0, false
 	}
-	return Mean(v), true
+	return ac.sum / float64(ac.count), true
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

@@ -124,3 +124,27 @@ func TestTrialReproducibleAndIndependent(t *testing.T) {
 		t.Fatal("different trial seeds produced identical trajectories")
 	}
 }
+
+// TestTrialPoolMatchesTrial pins the pooling contract: a pooled trial must
+// replay the exact trajectories the allocating Trial produces, across
+// repeated reuse and across scenarios of different platform sizes.
+func TestTrialPoolMatchesTrial(t *testing.T) {
+	small := Generate(rng.New(90), Cell{N: 5, Ncom: 5, Wmin: 1}, Options{P: 3})
+	large := Generate(rng.New(91), Cell{N: 10, Ncom: 5, Wmin: 2}, Options{P: 9})
+	var pool TrialPool
+	for trial, scn := range []*Scenario{small, large, small, large, large} {
+		seed := uint64(100 + trial)
+		want := scn.Trial(rng.New(seed))
+		got := pool.Trial(scn, rng.New(seed))
+		if len(got) != scn.Platform.P() {
+			t.Fatalf("trial %d: %d procs for %d processors", trial, len(got), scn.Platform.P())
+		}
+		for i := range want {
+			w := avail.Record(want[i], 300).String()
+			g := avail.Record(got[i], 300).String()
+			if w != g {
+				t.Fatalf("trial %d processor %d: pooled trajectory diverged\nwant %s\ngot  %s", trial, i, w, g)
+			}
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -35,6 +37,9 @@ type SweepConfig struct {
 	// Workers bounds parallelism (default: GOMAXPROCS).
 	Workers int
 	// Progress, when non-nil, receives (completedInstances, totalInstances).
+	// It may be called concurrently from several worker goroutines; each
+	// done value in 1..total is delivered exactly once, but not necessarily
+	// in ascending order.
 	Progress func(done, total int)
 }
 
@@ -53,85 +58,31 @@ type SweepResult struct {
 }
 
 // RunSweep executes the sweep, parallelizing across instances. Results are
-// deterministic for a fixed config, independent of worker count.
+// deterministic for a fixed config, independent of worker count: workers
+// aggregate into per-chunk shards that are merged in a fixed order (see
+// runSharded), so the output is bit-identical to a sequential pass.
 func RunSweep(cfg SweepConfig) (*SweepResult, error) {
-	if len(cfg.Cells) == 0 {
-		return nil, fmt.Errorf("volatile: sweep with no cells")
+	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Scenarios <= 0 || cfg.Trials <= 0 {
-		return nil, fmt.Errorf("volatile: sweep needs Scenarios > 0 and Trials > 0")
-	}
-	heuristics := cfg.Heuristics
-	if len(heuristics) == 0 {
-		heuristics = Heuristics()
-	}
-	for _, h := range heuristics {
-		if _, err := NewScenario(0, Cell{Tasks: 1, Ncom: 1, Wmin: 1}, ScenarioOptions{}).Run(h, 0); err != nil {
-			return nil, fmt.Errorf("volatile: heuristic %q: %w", h, err)
-		}
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type job struct {
-		cellIdx, scenIdx, trialIdx int
-	}
-	var jobs []job
-	for c := range cfg.Cells {
-		for s := 0; s < cfg.Scenarios; s++ {
-			for tr := 0; tr < cfg.Trials; tr++ {
-				jobs = append(jobs, job{c, s, tr})
-			}
-		}
-	}
-	results := make([]*stats.InstanceResult, len(jobs))
-	censored := make([]int, len(jobs))
-
-	// Scenario cache: scenario generation is deterministic in
-	// (seed, cell, scenario index), shared across trials.
-	scenarios := make([]*Scenario, len(cfg.Cells)*cfg.Scenarios)
-	for c, cell := range cfg.Cells {
-		for s := 0; s < cfg.Scenarios; s++ {
-			scnSeed := deriveSeed(cfg.Seed, uint64(c), uint64(s), 0xA11CE)
-			scenarios[c*cfg.Scenarios+s] = NewScenario(scnSeed, cell, cfg.Options)
-		}
-	}
-
-	var wg sync.WaitGroup
-	jobCh := make(chan int)
-	errCh := make(chan error, workers)
-	// stop is closed on the first worker error so the feeder below never
-	// blocks on a channel no worker is draining (a worker that aborts stops
-	// receiving; with an unbuffered jobCh the feed would deadlock otherwise).
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	var doneMu sync.Mutex
-	done := 0
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			runner := NewRunner()
-			for ji := range jobCh {
-				j := jobs[ji]
-				scn := scenarios[j.cellIdx*cfg.Scenarios+j.scenIdx]
-				trialSeed := deriveSeed(cfg.Seed, uint64(j.cellIdx), uint64(j.scenIdx), uint64(j.trialIdx))
-				ir := &stats.InstanceResult{
-					Makespans: make(map[string]int, len(heuristics)),
-					Censored:  make(map[string]bool),
-				}
+	return runSharded(shardedSweep{
+		cells:     cfg.Cells,
+		scenarios: cfg.Scenarios,
+		trials:    cfg.Trials,
+		options:   cfg.Options,
+		seed:      cfg.Seed,
+		workers:   cfg.Workers,
+		progress:  cfg.Progress,
+		newRunner: func() instanceRunner {
+			rn := NewRunner()
+			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
+				trialSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx))
 				nCens := 0
 				for _, h := range heuristics {
-					res, err := scn.RunWith(runner, h, trialSeed)
+					res, err := scn.RunWith(rn, h, trialSeed)
 					if err != nil {
-						select {
-						case errCh <- fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err):
-						default:
-						}
-						stopOnce.Do(func() { close(stop) })
-						return
+						return 0, fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err)
 					}
 					ir.Makespans[h] = res.Makespan
 					if !res.Completed {
@@ -139,58 +90,210 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 						nCens++
 					}
 				}
-				results[ji] = ir
-				censored[ji] = nCens
-				if cfg.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					cfg.Progress(d, len(jobs))
+				return nCens, nil
+			}
+		},
+	})
+}
+
+// sweepHeuristics validates the common sweep parameters and resolves the
+// heuristic list, rejecting unknown names via a registry lookup (no
+// throwaway simulation runs) so misconfigured sweeps fail fast.
+func sweepHeuristics(cells []Cell, scenarios, trials int, heuristics []string) ([]string, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("volatile: sweep with no cells")
+	}
+	if scenarios <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("volatile: sweep needs Scenarios > 0 and Trials > 0")
+	}
+	if len(heuristics) == 0 {
+		heuristics = Heuristics()
+	}
+	for _, h := range heuristics {
+		if _, err := core.Lookup(h); err != nil {
+			return nil, fmt.Errorf("volatile: heuristic %q: %w", h, err)
+		}
+	}
+	return heuristics, nil
+}
+
+// instanceRunner executes one (cell, scenario, trial) instance, filling ir
+// with every heuristic's makespan. It returns the instance's censored-run
+// count. Each worker goroutine gets its own instanceRunner (and thus its own
+// engine and trial scratch) from the factory passed to runSharded.
+type instanceRunner func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (censoredRuns int, err error)
+
+// shardedSweep is the input to runSharded: the grid geometry plus a factory
+// for per-worker instance runners.
+type shardedSweep struct {
+	cells     []Cell
+	scenarios int
+	trials    int
+	options   ScenarioOptions
+	seed      uint64
+	workers   int
+	progress  func(done, total int)
+	newRunner func() instanceRunner
+}
+
+// runSharded is the sweep pipeline shared by RunSweep and TraceSweep.
+//
+// Work is dispatched at chunk granularity, one chunk per (cell, scenario)
+// pair, and every chunk's trials run in order on a single worker. Each
+// worker folds its current chunk into a stats.ShardAggregator; completed
+// shards are handed to a single committer goroutine that merges them into
+// the overall / per-wmin / per-cell aggregates strictly in chunk order
+// (buffering out-of-order arrivals in a reorder window). Chunk order equals
+// the job order of a sequential pass, and stats.Merge replays instances in
+// that order, so the aggregates — floating-point summation order included —
+// are bit-identical for every worker count. Committed shards are recycled
+// through a pool, and the feeder holds a window permit per uncommitted
+// chunk, so even when one slow chunk stalls the commit cursor the reorder
+// window — and with it sweep memory — stays proportional to the worker
+// count (× chunk size), never to the total instance count.
+func runSharded(sw shardedSweep) (*SweepResult, error) {
+	workers := sw.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := len(sw.cells) * sw.scenarios
+	total := chunks * sw.trials
+
+	// Scenario cache: scenario generation is deterministic in
+	// (seed, cell, scenario index), shared across trials.
+	scenarios := make([]*Scenario, chunks)
+	for c, cell := range sw.cells {
+		for s := 0; s < sw.scenarios; s++ {
+			scnSeed := deriveSeed(sw.seed, uint64(c), uint64(s), 0xA11CE)
+			scenarios[c*sw.scenarios+s] = NewScenario(scnSeed, cell, sw.options)
+		}
+	}
+
+	type doneChunk struct {
+		idx   int
+		shard *stats.ShardAggregator
+	}
+	jobCh := make(chan int)
+	commitCh := make(chan doneChunk, workers)
+	errCh := make(chan error, workers)
+	// stop is closed on the first worker error so the feeder below never
+	// blocks on a channel no worker is draining (a worker that aborts stops
+	// receiving; with an unbuffered jobCh the feed would deadlock otherwise).
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var done atomic.Int64
+	shardPool := sync.Pool{New: func() any { return stats.NewShardAggregator() }}
+	// window bounds the number of fed-but-uncommitted chunks: the feeder
+	// acquires a permit per chunk, the committer releases it once the chunk
+	// is merged. Without it, one slow chunk at the commit cursor would let
+	// fast workers pile arbitrarily many completed shards into the reorder
+	// buffer, growing memory toward the total instance count.
+	window := make(chan struct{}, 4*workers+4)
+
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := sw.newRunner()
+			for ci := range jobCh {
+				scn := scenarios[ci]
+				cellIdx, scenIdx := ci/sw.scenarios, ci%sw.scenarios
+				shard := shardPool.Get().(*stats.ShardAggregator)
+				for tr := 0; tr < sw.trials; tr++ {
+					ir := shard.Acquire()
+					nCens, err := run(scn, cellIdx, scenIdx, tr, ir)
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						stopOnce.Do(func() { close(stop) })
+						shard.Reset()
+						shardPool.Put(shard)
+						return
+					}
+					shard.Add(ir, nCens)
+					if sw.progress != nil {
+						sw.progress(int(done.Add(1)), total)
+					}
 				}
+				commitCh <- doneChunk{idx: ci, shard: shard}
 			}
 		}()
 	}
+
+	// Committer: merges shards in chunk order, holding out-of-order
+	// arrivals in a reorder window. It owns the aggregates, so no lock
+	// guards them; main reads them only after committerDone.
+	overall := stats.NewAggregator()
+	byWmin := make(map[int]*stats.Aggregator)
+	byCell := make(map[Cell]*stats.Aggregator)
+	censored := 0
+	committerDone := make(chan struct{})
+	go func() {
+		defer close(committerDone)
+		pending := make(map[int]*stats.ShardAggregator, workers)
+		next := 0
+		for dc := range commitCh {
+			pending[dc.idx] = dc.shard
+			for {
+				shard, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				cell := sw.cells[next/sw.scenarios]
+				bw := byWmin[cell.Wmin]
+				if bw == nil {
+					bw = stats.NewAggregator()
+					byWmin[cell.Wmin] = bw
+				}
+				bc := byCell[cell]
+				if bc == nil {
+					bc = stats.NewAggregator()
+					byCell[cell] = bc
+				}
+				stats.Merge(shard, overall, bw, bc)
+				censored += shard.CensoredRuns()
+				shard.Reset()
+				shardPool.Put(shard)
+				<-window
+				next++
+			}
+		}
+	}()
+
 feed:
-	for ji := range jobs {
+	for ci := 0; ci < chunks; ci++ {
 		select {
-		case jobCh <- ji:
+		case window <- struct{}{}:
+		case <-stop:
+			break feed
+		}
+		select {
+		case jobCh <- ci:
 		case <-stop:
 			break feed
 		}
 	}
 	close(jobCh)
 	wg.Wait()
+	close(commitCh)
+	<-committerDone
 	select {
 	case err := <-errCh:
 		return nil, err
 	default:
 	}
 
-	// Deterministic sequential aggregation.
-	overall := stats.NewAggregator()
-	byWmin := make(map[int]*stats.Aggregator)
-	byCell := make(map[Cell]*stats.Aggregator)
-	out := &SweepResult{ByWmin: make(map[int][]TableRow), ByCell: make(map[Cell][]TableRow)}
-	for ji, ir := range results {
-		if ir == nil {
-			continue
-		}
-		j := jobs[ji]
-		cell := cfg.Cells[j.cellIdx]
-		overall.Add(ir)
-		if byWmin[cell.Wmin] == nil {
-			byWmin[cell.Wmin] = stats.NewAggregator()
-		}
-		byWmin[cell.Wmin].Add(ir)
-		if byCell[cell] == nil {
-			byCell[cell] = stats.NewAggregator()
-		}
-		byCell[cell].Add(ir)
-		out.Censored += censored[ji]
+	out := &SweepResult{
+		Instances: overall.Instances(),
+		Overall:   overall.Rows(),
+		ByWmin:    make(map[int][]TableRow, len(byWmin)),
+		ByCell:    make(map[Cell][]TableRow, len(byCell)),
+		Censored:  censored,
 	}
-	out.Instances = overall.Instances()
-	out.Overall = overall.Rows()
 	for wmin, agg := range byWmin {
 		out.ByWmin[wmin] = agg.Rows()
 	}

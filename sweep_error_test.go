@@ -11,9 +11,10 @@ import (
 	"repro/internal/sim"
 )
 
-// failingSched behaves during RunSweep's up-front heuristic check (its first
-// instance) and then violates the scheduler protocol on every sweep run, so
-// every worker hits the error path.
+// failingSched behaves on its first instantiation (sweep validation no
+// longer runs probe instances, so that one is a real sweep run) and then
+// violates the scheduler protocol on every later run, so every worker hits
+// the error path.
 type failingSched struct{ ok bool }
 
 func (s *failingSched) Name() string { return "test-failing" }

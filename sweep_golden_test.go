@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,5 +86,66 @@ func TestRunSweepGolden(t *testing.T) {
 	sum := sha256.Sum256([]byte(text))
 	if got := hex.EncodeToString(sum[:]); got != goldenSweepDigest {
 		t.Errorf("sweep digest drifted:\n got  %s\n want %s\noutput:\n%s", got, goldenSweepDigest, text)
+	}
+}
+
+// TestRunSweepWorkerCountDeterminism is the sharded-merge property test:
+// the full SweepResult (Overall/ByWmin/ByCell rows, Instances, Censored)
+// must be bit-identical for Workers ∈ {1, 2, GOMAXPROCS}, and every worker
+// count must reproduce the golden digest captured on the seed's sequential
+// aggregation. Shards merge in chunk order, replaying the sequential Add
+// sequence exactly, so even the floating-point summation order is invariant.
+func TestRunSweepWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-count property sweep is a few seconds long")
+	}
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		cfg := goldenSweepConfig()
+		cfg.Workers = workers
+		res, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := formatSweep(res)
+		sum := sha256.Sum256([]byte(text))
+		if got := hex.EncodeToString(sum[:]); got != goldenSweepDigest {
+			t.Errorf("workers=%d drifted from the sequential golden digest:\n got  %s\n want %s\noutput:\n%s",
+				workers, got, goldenSweepDigest, text)
+		}
+	}
+}
+
+// TestTraceSweepWorkerCountDeterminism extends the property to the
+// trace-driven pipeline: synthetic trace generation, the per-scenario
+// trace-model cache and the sharded merge must all be independent of the
+// worker count.
+func TestTraceSweepWorkerCountDeterminism(t *testing.T) {
+	mk := func(workers int) string {
+		res, err := TraceSweep(TraceSweepConfig{
+			Cells:      []Cell{{Tasks: 5, Ncom: 5, Wmin: 1}, {Tasks: 10, Ncom: 5, Wmin: 2}},
+			Heuristics: []string{"emct", "mct*", "random2w"},
+			Scenarios:  2,
+			Trials:     2,
+			TraceLen:   150,
+			Style:      TraceWeibull,
+			Options:    ScenarioOptions{Processors: 6, Iterations: 2},
+			Seed:       2026,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instances == 0 {
+			t.Fatal("trace sweep aggregated no instances")
+		}
+		return formatSweep(res)
+	}
+	ref := mk(1)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		if got := mk(workers); got != ref {
+			t.Errorf("trace sweep with %d workers diverged:\nworkers=1:\n%s\nworkers=%d:\n%s",
+				workers, ref, workers, got)
+		}
 	}
 }

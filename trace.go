@@ -1,0 +1,318 @@
+package volatile
+
+// Trace-driven experiments: runs against explicit availability vectors
+// (RunTrace and friends) and trace sweeps through the sharded pipeline
+// (TraceSweep). The paper's conclusion proposes challenging the Markov
+// assumption with real availability traces; internal/trace supplies
+// FTA-style synthetic generators and the fitting code, and this file wires
+// them into the public API.
+//
+// Fitting a Markov model to a vector and parsing vector specs are pure
+// functions of the input, so each Scenario interns the derived artifacts —
+// parsed vectors plus a platform carrying the fitted models — in a small
+// keyed cache. The cache key is the full vector content, and a scenario
+// rebuild invalidates everything because the cache lives on the Scenario
+// itself. Repeated runs on the same explicit trace set (every heuristic
+// comparison does this) then reuse one fit — and one interned analytics
+// table (expect.Analytics) — instead of re-deriving both per run.
+// TraceSweep's synthetic trace sets are unique per (scenario, trial) and
+// shared across that instance's heuristics directly, so they bypass the
+// cache rather than bloat it.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/avail"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceStyle selects the synthetic sojourn-distribution family of trace
+// sweeps (re-exported from the internal trace package).
+type TraceStyle = trace.FTAStyle
+
+// Supported synthetic trace families.
+const (
+	// TraceWeibull draws Weibull sojourns with shape 0.6 (heavy tail).
+	TraceWeibull = trace.Weibull
+	// TracePareto draws Pareto sojourns with tail index 2.5.
+	TracePareto = trace.Pareto
+	// TraceLogNormal draws log-normal sojourns with sigma 1.2.
+	TraceLogNormal = trace.LogNormal
+)
+
+// traceModels is one interned trace artifact set: the parsed availability
+// vectors and a platform whose processors carry the Markov models fitted to
+// them (the master's "belief" handed to informed heuristics). Both are
+// immutable after construction and safe to share across goroutines.
+type traceModels struct {
+	vectors  []avail.Vector
+	platform *platform.Platform
+}
+
+// traceCacheLimit bounds the per-scenario cache. Sweeps run every heuristic
+// of an instance back to back on one trace set, so even a small cache gets
+// a hit for all but the first run; the limit only caps memory when many
+// distinct trace sets stream through one scenario.
+const traceCacheLimit = 32
+
+// traceCache interns traceModels per key. Safe for concurrent use.
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[string]*traceModels
+}
+
+// models returns the interned artifacts for key, building them on a miss.
+// The build runs under the lock: duplicate fits would cost more than the
+// brief contention, and sweep workers overwhelmingly hit distinct scenarios
+// anyway.
+func (c *traceCache) models(key string, build func() (*traceModels, error)) (*traceModels, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tm, ok := c.entries[key]; ok {
+		return tm, nil
+	}
+	tm, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]*traceModels, traceCacheLimit)
+	}
+	if len(c.entries) >= traceCacheLimit {
+		for k := range c.entries { // evict one arbitrary entry
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = tm
+	return tm, nil
+}
+
+// RunTrace executes the named heuristic against explicit availability
+// vectors (letters u/r/d, one string per processor; they replay verbatim and
+// then hold their last state). The informed heuristics consult Markov models
+// fitted to each vector, mirroring a master that estimated behaviour from
+// history. Vector count must match the scenario's processor count. The
+// fitted models are interned per scenario, so repeated runs on the same
+// vectors (comparing heuristics, sweeping seeds) fit them only once.
+func (s *Scenario) RunTrace(heuristic string, trialSeed uint64, vectors []string) (*RunResult, error) {
+	return s.RunTraceWithEvents(heuristic, trialSeed, vectors, nil)
+}
+
+// RunTraceWith is RunTrace on a reusable Runner (nil falls back to a
+// one-shot engine): replay processes and engine buffers are recycled across
+// runs, results are identical.
+func (s *Scenario) RunTraceWith(r *Runner, heuristic string, trialSeed uint64, vectors []string) (*RunResult, error) {
+	tm, err := s.tracedModels(vectors)
+	if err != nil {
+		return nil, err
+	}
+	return s.runTrace(r, tm, heuristic, trialSeed, nil)
+}
+
+// RunTraceWithEvents is RunTrace with an event callback for timelines.
+func (s *Scenario) RunTraceWithEvents(heuristic string, trialSeed uint64, vectors []string,
+	onEvent func(Event)) (*RunResult, error) {
+	tm, err := s.tracedModels(vectors)
+	if err != nil {
+		return nil, err
+	}
+	return s.runTrace(nil, tm, heuristic, trialSeed, onEvent)
+}
+
+// tracedModels resolves explicit vector specs through the scenario's
+// intern cache, parsing and fitting on the first sighting only.
+func (s *Scenario) tracedModels(vectors []string) (*traceModels, error) {
+	if len(vectors) != s.inner.Platform.P() {
+		return nil, fmt.Errorf("volatile: %d vectors for %d processors",
+			len(vectors), s.inner.Platform.P())
+	}
+	key := "vec\x00" + strings.Join(vectors, "\x00")
+	return s.traces.models(key, func() (*traceModels, error) {
+		parsed := make([]avail.Vector, len(vectors))
+		for i, spec := range vectors {
+			v, err := avail.ParseVector(spec)
+			if err != nil {
+				return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
+			}
+			parsed[i] = v
+		}
+		return fitTraceModels(s, parsed)
+	})
+}
+
+// fitTraceModels builds the interned artifact set for a scenario from
+// already-parsed vectors: the per-processor belief models fitted to them,
+// on a platform keeping the scenario's speeds. Shared by the explicit-vector
+// and synthetic-trace paths so the two cannot diverge.
+func fitTraceModels(scn *Scenario, vectors []avail.Vector) (*traceModels, error) {
+	pl := &platform.Platform{Processors: make([]*platform.Processor, len(vectors))}
+	for i, v := range vectors {
+		fitted, err := trace.FitMarkov3(v)
+		if err != nil {
+			return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
+		}
+		orig := scn.inner.Platform.Processors[i]
+		pl.Processors[i] = &platform.Processor{ID: i, W: orig.W, Avail: fitted}
+	}
+	return &traceModels{vectors: vectors, platform: pl}, nil
+}
+
+// runTrace executes one trace-driven run on interned models. With a Runner,
+// the replay processes come from its pool; results are identical either way.
+func (s *Scenario) runTrace(r *Runner, tm *traceModels, heuristic string, trialSeed uint64,
+	onEvent func(Event)) (*RunResult, error) {
+	sched, err := core.New(heuristic, rng.New(trialSeed))
+	if err != nil {
+		return nil, err
+	}
+	var procs []avail.Process
+	if r != nil {
+		procs = r.vectorProcs(tm.vectors)
+	} else {
+		procs = make([]avail.Process, len(tm.vectors))
+		for i, v := range tm.vectors {
+			procs[i] = avail.NewVectorProcess(v)
+		}
+	}
+	cfg := sim.Config{
+		Platform:  tm.platform,
+		Params:    s.inner.Params,
+		Procs:     procs,
+		Scheduler: sched,
+		OnEvent:   onEvent,
+	}
+	if r == nil {
+		return sim.Run(cfg)
+	}
+	return r.r.Run(cfg)
+}
+
+// vectorProcs rewinds the Runner's pooled replay processes onto the given
+// vectors. The returned slice is valid until the next call.
+func (r *Runner) vectorProcs(vectors []avail.Vector) []avail.Process {
+	p := len(vectors)
+	if cap(r.vprocs) < p {
+		r.vprocs = make([]avail.VectorProcess, p)
+		r.vps = make([]avail.Process, p)
+	}
+	r.vprocs, r.vps = r.vprocs[:p], r.vps[:p]
+	for i, v := range vectors {
+		r.vprocs[i].Reset(v)
+		r.vps[i] = &r.vprocs[i]
+	}
+	return r.vps
+}
+
+// TraceSweepConfig describes a trace-driven sweep: for every (cell,
+// scenario, trial) instance a synthetic FTA-style trace set is generated,
+// Markov models are fitted to it, and every heuristic runs against the same
+// replayed vectors — the trace-driven analogue of SweepConfig.
+type TraceSweepConfig struct {
+	// Cells are the (n, ncom, wmin) combinations to cover.
+	Cells []Cell
+	// Heuristics are the heuristic names to compare (default: all 17).
+	Heuristics []string
+	// Scenarios is the number of random scenarios per cell.
+	Scenarios int
+	// Trials is the number of independent trace draws per scenario.
+	Trials int
+	// TraceLen is the recorded length of each availability vector in slots
+	// (default 1000; past the end, processors hold their last state).
+	TraceLen int
+	// Style selects the synthetic sojourn family (default TraceWeibull).
+	Style TraceStyle
+	// Options tunes scenario generation (platform size, iterations, ...).
+	Options ScenarioOptions
+	// Seed makes the whole sweep reproducible.
+	Seed uint64
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives (completedInstances, totalInstances);
+	// see SweepConfig.Progress for the concurrency contract.
+	Progress func(done, total int)
+}
+
+// traceSeedSalt separates trace-generation streams from trial streams.
+const traceSeedSalt = 0x7ACE5
+
+// TraceSweep executes a trace-driven sweep through the same sharded
+// pipeline as RunSweep: per-worker shard aggregation, deterministic
+// chunk-order merge, bit-identical results for every worker count. Each
+// instance generates one trace set, fits models once (interned per
+// scenario), and confronts every heuristic with the same replayed vectors.
+func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
+	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
+	if err != nil {
+		return nil, err
+	}
+	traceLen := cfg.TraceLen
+	if traceLen == 0 {
+		traceLen = 1000
+	}
+	if traceLen < 2 {
+		return nil, fmt.Errorf("volatile: TraceLen %d too short to fit models (need >= 2)", traceLen)
+	}
+	return runSharded(shardedSweep{
+		cells:     cfg.Cells,
+		scenarios: cfg.Scenarios,
+		trials:    cfg.Trials,
+		options:   cfg.Options,
+		seed:      cfg.Seed,
+		workers:   cfg.Workers,
+		progress:  cfg.Progress,
+		newRunner: func() instanceRunner {
+			rn := NewRunner()
+			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
+				// Each (scenario, trial) has a unique trace set and all its
+				// heuristic runs share the tm below directly, so interning
+				// synthetic sets in the scenario cache would only retain
+				// memory — build them uncached and let them die with the
+				// instance. (Explicit-vector runs, which genuinely repeat,
+				// go through the cache in tracedModels.)
+				genSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx), traceSeedSalt)
+				tm, err := synthTraceModels(scn, genSeed, cfg.Style, traceLen)
+				if err != nil {
+					return 0, err
+				}
+				trialSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx))
+				nCens := 0
+				for _, h := range heuristics {
+					res, err := scn.runTrace(rn, tm, h, trialSeed, nil)
+					if err != nil {
+						return 0, fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err)
+					}
+					ir.Makespans[h] = res.Makespan
+					if !res.Completed {
+						ir.Censored[h] = true
+						nCens++
+					}
+				}
+				return nCens, nil
+			}
+		},
+	})
+}
+
+// synthTraceModels generates one synthetic trace set for a scenario and
+// fits the per-processor belief models, entirely determined by genSeed.
+func synthTraceModels(scn *Scenario, genSeed uint64, style TraceStyle, traceLen int) (*traceModels, error) {
+	gen := rng.New(genSeed)
+	p := scn.inner.Platform.P()
+	vectors := make([]avail.Vector, p)
+	for i := 0; i < p; i++ {
+		proc, err := trace.NewSynthProcess(gen.Split(), trace.SynthOptions{Style: style})
+		if err != nil {
+			return nil, fmt.Errorf("volatile: trace style: %w", err)
+		}
+		vectors[i] = avail.Record(proc, traceLen)
+	}
+	return fitTraceModels(scn, vectors)
+}

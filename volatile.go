@@ -30,7 +30,6 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -130,6 +129,9 @@ type (
 // instance by instance (the paper's dfb metric).
 type Scenario struct {
 	inner *workload.Scenario
+	// traces interns parsed vectors and fitted models for trace-driven runs
+	// (see trace.go); it is safe for concurrent use by sweep workers.
+	traces traceCache
 }
 
 // NewScenario draws a scenario from the given seed using the generation
@@ -181,14 +183,23 @@ func (s *Scenario) ProcessorModel(i int) *avail.Markov3 {
 	return s.inner.Platform.Processors[i].Avail
 }
 
-// Runner wraps a reusable simulation engine. Tight loops (sweeps,
-// benchmarks) that execute many runs on one goroutine should create one
-// Runner and pass it to RunWith: every engine-internal buffer (worker
-// states, task tables, scheduler view, scratch, the copy pool) is then
-// recycled across runs instead of reallocated. Results are identical to
-// Run's. A Runner must not be shared between goroutines.
+// Runner wraps a reusable simulation engine plus per-trial scratch. Tight
+// loops (sweeps, benchmarks) that execute many runs on one goroutine should
+// create one Runner and pass it to RunWith: every engine-internal buffer
+// (worker states, task tables, scheduler view, scratch, the copy pool) and
+// every trial resource (availability processes, their RNG streams, trace
+// replay processes) is then recycled across runs instead of reallocated.
+// Results are identical to Run's. A Runner must not be shared between
+// goroutines.
 type Runner struct {
 	r sim.Runner
+	// trialRng is the pooled per-trial generator, reseeded per run.
+	trialRng rng.PCG
+	// trials pools the Markov availability processes of model-driven runs.
+	trials workload.TrialPool
+	// vprocs/vps pool the replay processes of trace-driven runs.
+	vprocs []avail.VectorProcess
+	vps    []avail.Process
 }
 
 // NewRunner returns a reusable Runner; its first run sizes the buffers.
@@ -215,8 +226,19 @@ func (s *Scenario) RunWithHooks(heuristic string, trialSeed uint64,
 
 func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
-	trialRng := rng.New(trialSeed)
-	procs := s.inner.Trial(trialRng)
+	// The pooled path consumes the RNG exactly as the allocating path does
+	// (Reseed mirrors New, TrialPool.Trial mirrors Trial), so both produce
+	// identical trajectories for the same trial seed.
+	var trialRng *rng.PCG
+	var procs []avail.Process
+	if r != nil {
+		r.trialRng.Reseed(trialSeed)
+		trialRng = &r.trialRng
+		procs = r.trials.Trial(s.inner, trialRng)
+	} else {
+		trialRng = rng.New(trialSeed)
+		procs = s.inner.Trial(trialRng)
+	}
 	sched, err := core.New(heuristic, trialRng.Split())
 	if err != nil {
 		return nil, err
@@ -233,48 +255,4 @@ func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
 		return sim.Run(cfg)
 	}
 	return r.r.Run(cfg)
-}
-
-// RunTrace executes the named heuristic against explicit availability
-// vectors (letters u/r/d, one string per processor; they replay verbatim and
-// then hold their last state). The informed heuristics consult Markov models
-// fitted to each vector, mirroring a master that estimated behaviour from
-// history. Vector count must match the scenario's processor count.
-func (s *Scenario) RunTrace(heuristic string, trialSeed uint64, vectors []string) (*RunResult, error) {
-	return s.RunTraceWithEvents(heuristic, trialSeed, vectors, nil)
-}
-
-// RunTraceWithEvents is RunTrace with an event callback for timelines.
-func (s *Scenario) RunTraceWithEvents(heuristic string, trialSeed uint64, vectors []string,
-	onEvent func(Event)) (*RunResult, error) {
-	if len(vectors) != s.inner.Platform.P() {
-		return nil, fmt.Errorf("volatile: %d vectors for %d processors",
-			len(vectors), s.inner.Platform.P())
-	}
-	procs := make([]avail.Process, len(vectors))
-	pl := &platform.Platform{Processors: make([]*platform.Processor, len(vectors))}
-	for i, spec := range vectors {
-		v, err := avail.ParseVector(spec)
-		if err != nil {
-			return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
-		}
-		procs[i] = avail.NewVectorProcess(v)
-		fitted, err := trace.FitMarkov3(v)
-		if err != nil {
-			return nil, fmt.Errorf("volatile: vector %d: %w", i, err)
-		}
-		orig := s.inner.Platform.Processors[i]
-		pl.Processors[i] = &platform.Processor{ID: i, W: orig.W, Avail: fitted}
-	}
-	sched, err := core.New(heuristic, rng.New(trialSeed))
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(sim.Config{
-		Platform:  pl,
-		Params:    s.inner.Params,
-		Procs:     procs,
-		Scheduler: sched,
-		OnEvent:   onEvent,
-	})
 }

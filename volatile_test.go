@@ -1,7 +1,9 @@
 package volatile
 
 import (
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -244,7 +246,11 @@ func TestFigure2Series(t *testing.T) {
 }
 
 func TestProgressCallback(t *testing.T) {
-	var last, total int
+	// Progress may be invoked concurrently and out of order; the contract is
+	// that the done counter covers 1..total, with total always the instance
+	// count.
+	var mu sync.Mutex
+	maxDone, total, calls := 0, 0, 0
 	_, err := RunSweep(SweepConfig{
 		Cells:      []Cell{{Tasks: 3, Ncom: 3, Wmin: 1}},
 		Heuristics: []string{"mct"},
@@ -253,12 +259,136 @@ func TestProgressCallback(t *testing.T) {
 		Seed:       5,
 		Workers:    2,
 		Options:    ScenarioOptions{Iterations: 1, Processors: 4},
-		Progress:   func(d, tot int) { last, total = d, tot },
+		Progress: func(d, tot int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			total = tot
+			if d > maxDone {
+				maxDone = d
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if last != 6 || total != 6 {
-		t.Fatalf("progress ended at %d/%d, want 6/6", last, total)
+	if maxDone != 6 || total != 6 || calls != 6 {
+		t.Fatalf("progress reached %d/%d over %d calls, want 6/6 over 6", maxDone, total, calls)
+	}
+}
+
+// TestProgressCountsEachInstanceOnce pins the lock-free progress counter:
+// across many workers, the done values delivered to Progress must be exactly
+// the multiset {1, ..., total} — `done` reaches total exactly once, no value
+// is skipped, and no value is delivered twice.
+func TestProgressCountsEachInstanceOnce(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	const wantTotal = 4 * 3 * 2 // cells × scenarios × trials
+	_, err := RunSweep(SweepConfig{
+		Cells: []Cell{
+			{Tasks: 2, Ncom: 2, Wmin: 1}, {Tasks: 3, Ncom: 2, Wmin: 1},
+			{Tasks: 2, Ncom: 3, Wmin: 2}, {Tasks: 3, Ncom: 3, Wmin: 2},
+		},
+		Heuristics: []string{"mct", "emct"},
+		Scenarios:  3,
+		Trials:     2,
+		Seed:       31,
+		Workers:    4,
+		Options:    ScenarioOptions{Iterations: 1, Processors: 4},
+		Progress: func(d, tot int) {
+			if tot != wantTotal {
+				t.Errorf("total = %d, want %d", tot, wantTotal)
+			}
+			mu.Lock()
+			seen = append(seen, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != wantTotal {
+		t.Fatalf("progress called %d times, want %d", len(seen), wantTotal)
+	}
+	sort.Ints(seen)
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done values %v are not exactly 1..%d", seen, wantTotal)
+		}
+	}
+}
+
+// TestRunSweepUnknownHeuristicFailsFast pins the registry-based validation:
+// a sweep naming an unknown heuristic must fail before any instance runs —
+// even alongside valid names and with an enormous configured sweep — and
+// the error must identify the bad name.
+func TestRunSweepUnknownHeuristicFailsFast(t *testing.T) {
+	calls := 0
+	_, err := RunSweep(SweepConfig{
+		Cells:      []Cell{{Tasks: 5, Ncom: 5, Wmin: 1}},
+		Heuristics: []string{"emct", "no-such-heuristic", "mct"},
+		Scenarios:  1 << 30, // would take forever if anything actually ran
+		Trials:     1 << 30,
+		Seed:       1,
+		Progress:   func(d, tot int) { calls++ },
+	})
+	if err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-heuristic") {
+		t.Fatalf("error %q does not name the unknown heuristic", err)
+	}
+	if calls != 0 {
+		t.Fatalf("validation ran %d instances before failing", calls)
+	}
+	// TraceSweep shares the validation path.
+	if _, err := TraceSweep(TraceSweepConfig{
+		Cells:      []Cell{{Tasks: 2, Ncom: 2, Wmin: 1}},
+		Heuristics: []string{"nope"},
+		Scenarios:  1,
+		Trials:     1,
+	}); err == nil {
+		t.Fatal("TraceSweep accepted an unknown heuristic")
+	}
+}
+
+// TestTraceCacheConcurrentInterning hammers one scenario's trace-model
+// cache from many goroutines (the sweep-worker sharing pattern): all
+// callers must agree on the result, and the race detector must stay quiet
+// over the intern map, the fitted models and their interned analytics.
+func TestTraceCacheConcurrentInterning(t *testing.T) {
+	scn := NewScenario(23, Cell{Tasks: 3, Ncom: 3, Wmin: 1}, ScenarioOptions{Processors: 4, Iterations: 1})
+	long := strings.Repeat("uurduuruuud", 10) + "u"
+	sets := [][]string{
+		{long, long, long, long},
+		{long + "u", long, long, long},
+		{long, long + "r" + "u", long, long},
+	}
+	const goroutines = 8
+	results := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rn := NewRunner()
+			for i, specs := range sets {
+				res, err := scn.RunTraceWith(rn, "emct", uint64(i), specs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = append(results[g], res.Makespan)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d set %d: makespan %d, want %d", g, i, results[g][i], results[0][i])
+			}
+		}
 	}
 }
