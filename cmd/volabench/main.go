@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -39,12 +41,35 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		traceStyle = flag.String("trace-style", "weibull", "tracesweep sojourn family: weibull|pareto|lognormal")
 		traceLen   = flag.Int("trace-len", 1000, "tracesweep vector length in slots")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *grid {
 		printGrid()
 		return
+	}
+
+	// Validate the experiment name before any profile starts, so a typo
+	// exits cleanly instead of leaving a truncated profile file behind.
+	switch *exp {
+	case "table2", "figure2", "table3x5", "table3x10", "tracesweep",
+		"ablation", "emctgain", "emctgain-norepl":
+	default:
+		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	// Profiles cover the experiment itself (not flag parsing or the grid
+	// printer). On error exits the CPU profile is not flushed; profile
+	// healthy runs.
+	var cpuProfF *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		cpuProfF = f
 	}
 
 	progress := func(done, total int) {
@@ -125,6 +150,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if cpuProfF != nil {
+		pprof.StopCPUProfile()
+		fatalIf(cpuProfF.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fatalIf(err)
+		runtime.GC() // materialize the live-heap picture
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memprofile)
 	}
 }
 

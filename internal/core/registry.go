@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -12,6 +13,12 @@ import (
 // their stream from r; deterministic heuristics ignore it. A new instance
 // must be created per simulation run.
 type Factory func(r *rng.PCG) sim.Scheduler
+
+// regMu guards registry. The paper heuristics register at init time, but
+// extensions and test doubles may register from arbitrary goroutines (e.g.
+// per-sweep registration while another sweep validates names), so every map
+// access takes the lock.
+var regMu sync.RWMutex
 
 // registry maps heuristic names to factories. Names follow the paper's
 // Table 2 spelling in lower case: random, random1..random4 (+"w" variants),
@@ -81,22 +88,25 @@ func init() {
 
 // Register adds (or replaces) a heuristic factory under the given name,
 // making it reachable through New and the sweep API. Paper heuristics are
-// pre-registered; Register exists for extensions and test doubles. It is not
-// safe for concurrent use with New; register before running sweeps.
+// pre-registered; Register exists for extensions and test doubles. It is
+// safe for concurrent use with Lookup, New, and the sweep API.
 func Register(name string, f Factory) error {
 	if name == "" || f == nil {
 		return fmt.Errorf("core: Register needs a name and a factory")
 	}
+	regMu.Lock()
 	registry[name] = f
+	regMu.Unlock()
 	return nil
 }
 
 // Lookup returns the factory registered under name without instantiating a
 // scheduler. It is the cheap existence check sweep validation performs
-// before committing to a run. Like New, it is not safe for concurrent use
-// with Register.
+// before committing to a run. Safe for concurrent use with Register.
 func Lookup(name string) (Factory, error) {
+	regMu.RLock()
 	f, ok := registry[name]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown heuristic %q (see core.Names)", name)
 	}
@@ -129,11 +139,14 @@ func GreedyNames() []string {
 }
 
 // AllNamesSorted lists every registered name alphabetically (for CLIs).
+// Safe for concurrent use with Register.
 func AllNamesSorted() []string {
+	regMu.RLock()
 	out := make([]string, 0, len(registry))
 	for name := range registry {
 		out = append(out, name)
 	}
+	regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }

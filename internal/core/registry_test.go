@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestRegistryConcurrentRegisterLookup hammers Register from several
+// goroutines while others run Lookup, New, and AllNamesSorted. It is the
+// -race guard for the registry's RWMutex: pre-lock, concurrent registration
+// vs. sweep-validation lookups was a data race on the registry map.
+func TestRegistryConcurrentRegisterLookup(t *testing.T) {
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 200
+	)
+	factory := func(*rng.PCG) sim.Scheduler { return NewMCT(false) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("conc-test-%d-%d", g, i)
+				if err := Register(name, factory); err != nil {
+					t.Errorf("Register(%q): %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := Lookup("emct"); err != nil {
+					t.Errorf("Lookup(emct): %v", err)
+					return
+				}
+				if _, err := New("mct", nil); err != nil {
+					t.Errorf("New(mct): %v", err)
+					return
+				}
+				if names := AllNamesSorted(); len(names) == 0 {
+					t.Error("AllNamesSorted returned nothing")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every registration must be visible afterwards.
+	for g := 0; g < writers; g++ {
+		name := fmt.Sprintf("conc-test-%d-%d", g, rounds-1)
+		if _, err := Lookup(name); err != nil {
+			t.Fatalf("registered name lost: %v", err)
+		}
+	}
+}
+
+func TestRegisterRejectsEmpty(t *testing.T) {
+	if err := Register("", func(*rng.PCG) sim.Scheduler { return NewMCT(false) }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("valid-name", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}

@@ -96,6 +96,39 @@ type engine struct {
 	dropBuf       []*copyState
 	// freeCopies pools retired copyState objects for reuse by bindCopy.
 	freeCopies []*copyState
+	// trk indexes the task table incrementally (remaining count, pending
+	// originals, replication buckets) so the scheduler round does work
+	// proportional to what changed, not to m.
+	trk taskTracker
+	// procDirty/dirtyProcs implement buildView's dirty set: a worker's
+	// ProcView is refreshed only when its availability state, pipeline
+	// occupancy, or progress changed since the last refresh. Every site that
+	// mutates scheduler-visible worker state calls markDirty.
+	procDirty  []bool
+	dirtyProcs []int
+	// overlaid records that the current round moved planned copies into the
+	// replication buckets; schedule undoes the overlay after the round.
+	overlaid bool
+	// finishers lists the workers whose computation reached W this slot
+	// (filled by compute, consumed by finishSlot), so the completion pass
+	// visits candidates instead of scanning every worker.
+	finishers []int
+	// inChain/chainHead/chainNext/chainPrev form a sorted (ascending worker
+	// ID) intrusive list over the workers holding a bound, incomplete
+	// transfer chain, replacing allocateChannels' full per-slot scans.
+	inChain   []bool
+	chainHead int
+	chainNext []int
+	chainPrev []int
+	// eligStamp/eligEpoch validate scheduler picks in O(1): a worker is
+	// eligible for the current pick phase iff its stamp equals the epoch.
+	eligStamp []int
+	eligEpoch int
+	// slowChecks arms the full-rebuild equivalence oracle (test-only): every
+	// incremental structure is verified against a from-scratch recount.
+	slowChecks bool
+	// checkView is the slow-check scratch view for buildViewFull.
+	checkView View
 }
 
 // Runner owns a reusable engine. A Runner amortizes every engine allocation
@@ -193,6 +226,31 @@ func (e *engine) reset(cfg Config) {
 	e.rs.NQ = e.rs.NQ[:p]
 	e.view = View{Params: e.params, Procs: e.view.Procs[:p]}
 
+	e.trk.reset(m, 1+cfg.Params.MaxReplicas)
+	if cap(e.procDirty) < p {
+		e.procDirty = make([]bool, p)
+		e.inChain = make([]bool, p)
+		e.chainNext = make([]int, p)
+		e.chainPrev = make([]int, p)
+		e.eligStamp = make([]int, p)
+	}
+	e.procDirty = e.procDirty[:p]
+	e.inChain = e.inChain[:p]
+	e.chainNext = e.chainNext[:p]
+	e.chainPrev = e.chainPrev[:p]
+	e.eligStamp = e.eligStamp[:p]
+	e.dirtyProcs = e.dirtyProcs[:0]
+	for i := 0; i < p; i++ {
+		e.procDirty[i] = true
+		e.dirtyProcs = append(e.dirtyProcs, i)
+		e.inChain[i] = false
+		e.eligStamp[i] = 0
+	}
+	e.chainHead = noWorker
+	e.eligEpoch = 0
+	e.overlaid = false
+	e.finishers = e.finishers[:0]
+
 	e.slot, e.iter = 0, 0
 	e.stats = Stats{}
 	e.ends = e.ends[:0]
@@ -256,15 +314,19 @@ func (e *engine) advanceStates() {
 	for i := range e.workers {
 		w := &e.workers[i]
 		next := e.cfg.Procs[i].Next()
-		if next == avail.Down && w.state != avail.Down {
-			e.stats.Crashes++
-			e.stats.WastedProgramSlots += int64(w.progRecv)
-			e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
-			e.dropBuf = w.crash(e.dropBuf[:0])
-			for _, c := range e.dropBuf {
-				e.tasks[c.task].copies--
-				e.wasteCopy(c)
-				e.releaseCopy(c)
+		if next != w.state {
+			e.markDirty(i)
+			if next == avail.Down {
+				e.stats.Crashes++
+				e.stats.WastedProgramSlots += int64(w.progRecv)
+				e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
+				e.dropBuf = w.crash(e.dropBuf[:0])
+				for _, c := range e.dropBuf {
+					e.taskLostCopy(c.task)
+					e.wasteCopy(c)
+					e.releaseCopy(c)
+				}
+				e.syncChain(i)
 			}
 		}
 		w.state = next
@@ -277,12 +339,98 @@ func (e *engine) wasteCopy(c *copyState) {
 	e.stats.WastedDataSlots += int64(c.dataRecv)
 }
 
-// schedule runs one scheduler round: it applies proactive cancellations
+// noWorker marks an absent link in the worker chain list.
+const noWorker = -1
+
+// markDirty queues worker i's ProcView for refresh at the next buildView.
+func (e *engine) markDirty(i int) {
+	if !e.procDirty[i] {
+		e.procDirty[i] = true
+		e.dirtyProcs = append(e.dirtyProcs, i)
+	}
+}
+
+// syncChain reconciles worker i's membership in the bound-chain list (the
+// workers whose incoming copy still needs program or data slots) with its
+// current pipeline state. It is idempotent; every site that binds, advances,
+// or drops an incoming copy calls it.
+func (e *engine) syncChain(i int) {
+	w := &e.workers[i]
+	want := w.needsTransfer(e.params.Tprog)
+	if want == e.inChain[i] {
+		return
+	}
+	e.inChain[i] = want
+	if want {
+		listInsertSorted(&e.chainHead, e.chainNext, e.chainPrev, i)
+	} else {
+		listRemove(&e.chainHead, e.chainNext, e.chainPrev, i)
+	}
+}
+
+// taskGainedCopy records a new live copy of task t (bind time): the task
+// leaves the pending-originals list (first copy) or moves up one replication
+// bucket (a replica joined).
+func (e *engine) taskGainedCopy(t int) {
+	ts := &e.tasks[t]
+	if ts.copies == 0 {
+		e.trk.pendRemove(t)
+	} else {
+		e.trk.bucketRemove(t)
+	}
+	ts.copies++
+	e.trk.bucketAdd(t, ts.copies)
+}
+
+// taskLostCopy records the death of one live copy of task t (crash or
+// cancellation). Completed tasks are already out of every index; incomplete
+// ones move down a bucket, or back into the pending list when their last
+// copy died.
+func (e *engine) taskLostCopy(t int) {
+	ts := &e.tasks[t]
+	ts.copies--
+	if ts.completed {
+		return
+	}
+	e.trk.bucketRemove(t)
+	if ts.copies == 0 {
+		e.trk.pendInsert(t)
+	} else {
+		e.trk.bucketAdd(t, ts.copies)
+	}
+}
+
+// schedule runs one scheduler round (scheduleRound), then clears the round's
+// planned-copy overlay: plannedCopies entries are zeroed and any task the
+// round moved through the replication buckets is re-keyed to its live copy
+// count. Iterating e.plans touches exactly the tasks the round planned, so
+// the cleanup is O(plans), not O(m).
+func (e *engine) schedule() error {
+	e.plans = e.plans[:0]
+	err := e.scheduleRound()
+	for i := range e.plans {
+		t := e.plans[i].task
+		if e.plannedCopies[t] == 0 {
+			continue // already restored (task planned more than once)
+		}
+		if e.overlaid {
+			if e.tasks[t].copies == 0 {
+				e.trk.bucketRemove(t)
+			} else {
+				e.trk.bucketMove(t, e.tasks[t].copies)
+			}
+		}
+		e.plannedCopies[t] = 0
+	}
+	e.overlaid = false
+	return err
+}
+
+// scheduleRound runs one scheduler round: it applies proactive cancellations
 // (when the scheduler requests them), then plans processors for all unbegun
 // original tasks, then for replicas when UP processors outnumber the
 // remaining tasks (Section 6.1).
-func (e *engine) schedule() error {
-	e.plans = e.plans[:0]
+func (e *engine) scheduleRound() error {
 	e.buildView()
 
 	if canceller, ok := e.cfg.Scheduler.(Canceller); ok {
@@ -295,12 +443,14 @@ func (e *engine) schedule() error {
 				w := &e.workers[q]
 				e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
 				for _, dropped := range e.dropBuf {
-					e.tasks[dropped.task].copies--
+					e.taskLostCopy(dropped.task)
 					e.wasteCopy(dropped)
 					e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: q,
 						Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
 					e.releaseCopy(dropped)
+					e.markDirty(q)
 				}
+				e.syncChain(q)
 			}
 			e.buildView() // cancellations changed pipeline state
 		}
@@ -311,11 +461,26 @@ func (e *engine) schedule() error {
 		return nil
 	}
 
-	// Eligible processors for originals: every UP processor.
+	// One setup pass: collect the UP processors (eligible for originals,
+	// stamped for O(1) pick validation), zero the round queues, and count
+	// n_active — how many workers compete for the master's card
+	// (Section 6.3.1: "the average slowdown encountered by a worker when
+	// communicating with the master"): the processors already engaged in
+	// begun work, plus — via notePick — each processor newly put to work
+	// during this round.
 	up := e.eligible[:0]
+	rs := &e.rs
+	rs.NActive = 0
+	e.eligEpoch++
 	for i := range e.workers {
-		if e.workers[i].state == avail.Up {
+		rs.NQ[i] = 0
+		w := &e.workers[i]
+		if w.state == avail.Up {
 			up = append(up, i)
+			e.eligStamp[i] = e.eligEpoch
+		}
+		if w.busy() {
+			rs.NActive++
 		}
 	}
 	e.eligible = up
@@ -323,38 +488,21 @@ func (e *engine) schedule() error {
 		return nil
 	}
 
-	rs := &e.rs
-	for q := range rs.NQ {
-		rs.NQ[q] = 0
+	// Originals: every incomplete task with no live copy — exactly the
+	// pending list, walked in ascending task order. Planned copies are
+	// tracked so same-round replication (below) respects the cap; schedule
+	// zeroes them again after the round.
+	if e.slowChecks {
+		e.verifyPending()
 	}
-	rs.NActive = 0
-	// n_active measures how many workers compete for the master's card
-	// (Section 6.3.1: "the average slowdown encountered by a worker when
-	// communicating with the master"): the processors already engaged in
-	// begun work, plus — via notePick — each processor newly put to work
-	// during this round.
-	for i := range e.workers {
-		if e.workers[i].busy() {
-			rs.NActive++
-		}
-	}
-
-	// Originals: every incomplete task with no live copy. Planned copies
-	// are tracked so same-round replication (below) respects the cap.
 	plannedCopies := e.plannedCopies
-	for t := range plannedCopies {
-		plannedCopies[t] = 0
-	}
-	for t := range e.tasks {
-		if e.tasks[t].completed || e.tasks[t].copies > 0 {
-			continue
-		}
+	for t := e.trk.pendHead; t != noTask; t = e.trk.pendNext[t] {
 		ti := TaskInfo{Task: t, Replica: false, Copies: 0}
 		pick := e.cfg.Scheduler.Pick(&e.view, up, rs, ti)
 		if pick == Decline {
 			continue
 		}
-		if err := e.notePick(rs, pick, up); err != nil {
+		if err := e.notePick(rs, pick); err != nil {
 			return err
 		}
 		e.plans = append(e.plans, plannedAssignment{task: t, worker: pick, replica: 0})
@@ -370,9 +518,11 @@ func (e *engine) schedule() error {
 		return nil
 	}
 	idle := e.idle[:0]
+	e.eligEpoch++
 	for _, q := range up {
 		if !e.workers[q].busy() && rs.NQ[q] == 0 {
 			idle = append(idle, q)
+			e.eligStamp[q] = e.eligEpoch
 		}
 	}
 	e.idle = idle
@@ -382,20 +532,21 @@ func (e *engine) schedule() error {
 	// A task is replicable once it has at least one live or planned copy
 	// (so replicas may launch in the same round as the original) and is
 	// below the copy cap. Replicas go to the least-covered tasks first,
-	// until idle processors or replication capacity run out.
+	// until idle processors or replication capacity run out. The buckets
+	// track live copies; overlay this round's planned originals (each has
+	// zero live copies, one planned copy) so they are replicable too.
+	// schedule undoes the overlay after the round.
 	copyCap := 1 + e.params.MaxReplicas
+	e.overlaid = true
+	for i := range e.plans {
+		e.trk.bucketAdd(e.plans[i].task, 1)
+	}
 	for len(idle) > 0 {
-		best, bestCopies := -1, copyCap
-		for t := range e.tasks {
-			if e.tasks[t].completed {
-				continue
-			}
-			total := e.tasks[t].copies + plannedCopies[t]
-			if total >= 1 && total < bestCopies {
-				best, bestCopies = t, total
-			}
+		best, bestCopies := e.trk.leastCovered(copyCap)
+		if e.slowChecks {
+			e.verifyLeastCovered(best, bestCopies, copyCap)
 		}
-		if best < 0 {
+		if best == noTask {
 			break
 		}
 		ti := TaskInfo{Task: best, Replica: true, Copies: bestCopies}
@@ -403,12 +554,14 @@ func (e *engine) schedule() error {
 		if pick == Decline {
 			break // a scheduler that declines replicas declines them all
 		}
-		if err := e.notePick(rs, pick, idle); err != nil {
+		if err := e.notePick(rs, pick); err != nil {
 			return err
 		}
 		e.plans = append(e.plans, plannedAssignment{task: best, worker: pick, replica: -1})
 		plannedCopies[best]++
+		e.trk.bucketMove(best, bestCopies+1)
 		// The chosen processor is no longer idle.
+		e.eligStamp[pick] = 0
 		for i, q := range idle {
 			if q == pick {
 				idle = append(idle[:i], idle[i+1:]...)
@@ -420,16 +573,11 @@ func (e *engine) schedule() error {
 	return nil
 }
 
-// notePick validates a scheduler pick and updates the round state.
-func (e *engine) notePick(rs *RoundState, pick int, eligible []int) error {
-	ok := false
-	for _, q := range eligible {
-		if q == pick {
-			ok = true
-			break
-		}
-	}
-	if !ok {
+// notePick validates a scheduler pick against the current eligibility stamps
+// (O(1), equivalent to membership in the eligible slice handed to Pick) and
+// updates the round state.
+func (e *engine) notePick(rs *RoundState, pick int) error {
+	if pick < 0 || pick >= len(e.workers) || e.eligStamp[pick] != e.eligEpoch {
 		return fmt.Errorf("sim: scheduler %q picked ineligible processor %d",
 			e.cfg.Scheduler.Name(), pick)
 	}
@@ -440,39 +588,48 @@ func (e *engine) notePick(rs *RoundState, pick int, eligible []int) error {
 	return nil
 }
 
-// buildView refreshes the scheduler snapshot.
+// buildView refreshes the scheduler snapshot incrementally: only workers in
+// the dirty set — those whose availability state, pipeline occupancy, or
+// progress changed since the last refresh — get their ProcView recomputed.
+// The remaining-task count is maintained by the completion/barrier sites.
 func (e *engine) buildView() {
 	e.view.Slot = e.slot
 	e.view.Iteration = e.iter
-	remaining := 0
-	for t := range e.tasks {
-		if !e.tasks[t].completed {
-			remaining++
-		}
+	e.view.TasksRemaining = e.trk.remaining
+	for _, i := range e.dirtyProcs {
+		e.fillProcView(i, &e.view.Procs[i])
+		e.procDirty[i] = false
 	}
-	e.view.TasksRemaining = remaining
-	tprog := e.params.Tprog
-	for i := range e.workers {
-		w := &e.workers[i]
-		pv := &e.view.Procs[i]
-		pv.ID = i
-		pv.W = w.proc.W
-		pv.Model = w.proc.Avail
-		pv.Analytics = w.analytics
-		pv.State = w.state
-		pv.RemProgram = w.remProgram(tprog)
-		pv.HasComputing = w.computing != nil
-		pv.HasIncoming = w.incoming != nil
-		if w.computing != nil {
-			pv.ComputingRem = w.proc.W - w.computing.computeDone
-		} else {
-			pv.ComputingRem = 0
-		}
-		if w.incoming != nil {
-			pv.IncomingRem = e.params.Tdata - w.incoming.dataRecv
-		} else {
-			pv.IncomingRem = 0
-		}
+	e.dirtyProcs = e.dirtyProcs[:0]
+	if e.slowChecks {
+		e.verifyView()
+	}
+}
+
+// fillProcView computes worker i's scheduler snapshot from its live state,
+// writing it in place. It is the single source of truth for both buildView's
+// dirty refresh and the full-rebuild reference (buildViewFull), so the two
+// can only diverge through missed dirty marks — which the slow checks and
+// the golden tests pin down.
+func (e *engine) fillProcView(i int, pv *ProcView) {
+	w := &e.workers[i]
+	pv.ID = i
+	pv.W = w.proc.W
+	pv.Model = w.proc.Avail
+	pv.Analytics = w.analytics
+	pv.State = w.state
+	pv.RemProgram = w.remProgram(e.params.Tprog)
+	pv.HasComputing = w.computing != nil
+	pv.HasIncoming = w.incoming != nil
+	if w.computing != nil {
+		pv.ComputingRem = w.proc.W - w.computing.computeDone
+	} else {
+		pv.ComputingRem = 0
+	}
+	if w.incoming != nil {
+		pv.IncomingRem = e.params.Tdata - w.incoming.dataRecv
+	} else {
+		pv.IncomingRem = 0
 	}
 }
 
@@ -485,19 +642,23 @@ func (e *engine) allocateChannels() int {
 	tprog, tdata := e.params.Tprog, e.params.Tdata
 
 	// Continuations: bound chains on UP workers needing slots, originals
-	// (ascending worker) before replicas (ascending worker). Two ascending
-	// passes build that order directly — no sort needed, each worker holds
-	// at most one chain.
+	// (ascending worker) before replicas (ascending worker). The chain list
+	// holds exactly the workers with incomplete bound chains in ascending
+	// order, so two passes over it build that order directly — no sort, no
+	// full worker scan, each worker holds at most one chain.
+	if e.slowChecks {
+		e.verifyChains()
+	}
 	conts := e.conts[:0]
-	for i := range e.workers {
+	for i := e.chainHead; i != noWorker; i = e.chainNext[i] {
 		w := &e.workers[i]
-		if w.state == avail.Up && w.needsTransfer(tprog) && w.incoming.replica == 0 {
+		if w.state == avail.Up && w.incoming.replica == 0 {
 			conts = append(conts, contRec{worker: i, replica: 0, task: w.incoming.task})
 		}
 	}
-	for i := range e.workers {
+	for i := e.chainHead; i != noWorker; i = e.chainNext[i] {
 		w := &e.workers[i]
-		if w.state == avail.Up && w.needsTransfer(tprog) && w.incoming.replica != 0 {
+		if w.state == avail.Up && w.incoming.replica != 0 {
 			conts = append(conts, contRec{worker: i, replica: w.incoming.replica, task: w.incoming.task})
 		}
 	}
@@ -509,6 +670,8 @@ func (e *engine) allocateChannels() int {
 		w := &e.workers[ct.worker]
 		progSlot := !w.hasProgram(tprog)
 		w.advanceTransfer(tprog, tdata)
+		e.markDirty(ct.worker)
+		e.syncChain(ct.worker)
 		used++
 		e.stats.ChannelSlots++
 		if progSlot {
@@ -528,7 +691,8 @@ func (e *engine) allocateChannels() int {
 		needProg := !w.hasProgram(tprog)
 		needData := tdata > 0
 		if !needProg && !needData {
-			// Zero-cost image: bind and complete instantly, no channel.
+			// Zero-cost image: bind and complete instantly, no channel, no
+			// chain entry (the transfer is already done).
 			e.bindCopy(w, pl)
 			w.incoming.dataDone = true
 			continue
@@ -539,6 +703,7 @@ func (e *engine) allocateChannels() int {
 		e.bindCopy(w, pl)
 		progSlot := needProg
 		w.advanceTransfer(tprog, tdata)
+		e.syncChain(pl.worker)
 		used++
 		e.stats.ChannelSlots++
 		if progSlot {
@@ -560,7 +725,8 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 		replica = e.nextReplica[pl.task]
 	}
 	w.incoming = e.newCopy(pl.task, replica)
-	e.tasks[pl.task].copies++
+	e.taskGainedCopy(pl.task)
+	e.markDirty(pl.worker)
 	e.stats.CopiesStarted++
 	kind := EvDataStart
 	if !w.hasProgram(e.params.Tprog) {
@@ -573,9 +739,11 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 }
 
 // compute advances every eligible computation by one slot and returns the
-// number of workers that computed.
+// number of workers that computed. Workers whose computation reached W are
+// recorded as this slot's completion candidates for finishSlot.
 func (e *engine) compute() int {
 	computing := 0
+	e.finishers = e.finishers[:0]
 	for i := range e.workers {
 		w := &e.workers[i]
 		if w.state != avail.Up || w.computing == nil || !w.hasProgram(e.params.Tprog) {
@@ -586,6 +754,10 @@ func (e *engine) compute() int {
 				Task: w.computing.task, Replica: w.computing.replica, Iteration: e.iter})
 		}
 		w.computing.computeDone++
+		if w.computing.computeDone >= w.proc.W {
+			e.finishers = append(e.finishers, i)
+		}
+		e.markDirty(i)
 		e.stats.ComputeSlots++
 		computing++
 	}
@@ -595,27 +767,36 @@ func (e *engine) compute() int {
 // finishSlot records completions, cancels surviving copies of completed
 // tasks, promotes data-complete prefetches, and handles iteration barriers.
 func (e *engine) finishSlot() {
-	// Completions.
-	for i := range e.workers {
+	// Completions: only a worker whose computation advanced to W this slot
+	// can complete, so the candidates are exactly compute's finishers
+	// (ascending worker order, like the full scan). A finisher's copy may
+	// have been cancelled by an earlier finisher of the same task.
+	for _, i := range e.finishers {
 		w := &e.workers[i]
 		c := w.computing
 		if c == nil || c.computeDone < w.proc.W {
 			continue
 		}
 		w.computing = nil
-		e.tasks[c.task].copies--
-		if e.tasks[c.task].completed {
+		e.markDirty(i)
+		ts := &e.tasks[c.task]
+		ts.copies--
+		if ts.completed {
 			// A sibling copy finished earlier in this same loop; this work
 			// is redundant.
 			e.wasteCopy(c)
 			e.releaseCopy(c)
 			continue
 		}
-		e.tasks[c.task].completed = true
+		ts.completed = true
+		e.trk.remaining--
+		e.trk.bucketRemove(c.task)
 		e.stats.TasksCompleted++
 		e.emit(Event{Slot: e.slot, Kind: EvTaskComplete, Worker: w.proc.ID,
 			Task: c.task, Replica: c.replica, Iteration: e.iter})
-		// Cancel all other live copies of this task.
+		// Cancel all other live copies of this task. The task is completed,
+		// so the drops only adjust the raw copy count — it is already out of
+		// every scheduler index.
 		for j := range e.workers {
 			if j == i {
 				continue
@@ -623,30 +804,34 @@ func (e *engine) finishSlot() {
 			other := &e.workers[j]
 			e.dropBuf = other.dropCopiesOf(c.task, e.dropBuf[:0])
 			for _, dropped := range e.dropBuf {
-				e.tasks[c.task].copies--
+				ts.copies--
+				e.markDirty(j)
 				e.wasteCopy(dropped)
 				e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: other.proc.ID,
 					Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
 				e.releaseCopy(dropped)
+				e.syncChain(j)
 			}
 		}
 		e.releaseCopy(c)
 	}
 
-	// Promotions: a data-complete prefetch starts computing next slot.
-	for i := range e.workers {
+	// Promotions: a data-complete prefetch starts computing next slot. A
+	// worker can newly qualify only through a change made after this slot's
+	// buildView (its transfer completed, or its computing slot emptied), so
+	// the current dirty set contains every candidate; promote itself is a
+	// no-op on the rest. Promotions change no scheduler-visible state the
+	// mark sites haven't already flagged, and the dirty set is only
+	// consumed at the next buildView.
+	for _, i := range e.dirtyProcs {
 		e.workers[i].promote()
 	}
-
-	// Iteration barrier.
-	done := true
-	for t := range e.tasks {
-		if !e.tasks[t].completed {
-			done = false
-			break
-		}
+	if e.slowChecks {
+		e.verifyPipelines()
 	}
-	if !done {
+
+	// Iteration barrier: the incremental remaining count makes this O(1).
+	if e.trk.remaining != 0 {
 		return
 	}
 	e.emit(Event{Slot: e.slot, Kind: EvIterationDone, Worker: -1, Task: -1, Replica: -1, Iteration: e.iter})
@@ -664,13 +849,19 @@ func (e *engine) finishSlot() {
 	for i := range e.workers {
 		w := &e.workers[i]
 		e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
+		if len(e.dropBuf) == 0 {
+			continue
+		}
 		for _, dropped := range e.dropBuf {
+			e.markDirty(i)
 			e.wasteCopy(dropped)
 			e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: w.proc.ID,
 				Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
 			e.releaseCopy(dropped)
 		}
+		e.syncChain(i)
 	}
+	e.trk.reset(len(e.tasks), 1+e.params.MaxReplicas)
 }
 
 // emit forwards an event to the configured sink.

@@ -1,0 +1,104 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/avail"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// randomScenarioConfig builds one random small scenario deterministically
+// from seed, so the same (seed, heuristic) pair can be materialized twice —
+// once for the slow-checked engine and once for the plain one — with
+// independent but identical schedulers and availability processes.
+func randomScenarioConfig(t *testing.T, seed uint64, heuristic string) sim.Config {
+	t.Helper()
+	r := rng.New(seed)
+	p := 2 + r.Intn(8)
+	wmin := 1 + r.Intn(4)
+	pl := platform.RandomPlatform(r, p, wmin)
+	prm := platform.Params{
+		M:           1 + r.Intn(8),
+		Iterations:  1 + r.Intn(3),
+		Ncom:        1 + r.Intn(p),
+		Tprog:       r.Intn(12),
+		Tdata:       r.Intn(4),
+		MaxReplicas: r.Intn(3),
+		MaxSlots:    300000,
+	}
+	procs := make([]avail.Process, pl.P())
+	for i, proc := range pl.Processors {
+		procs[i] = proc.Avail.NewProcess(r.Split(), proc.Avail.SampleStationary(r))
+	}
+	sched, err := core.New(heuristic, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched}
+}
+
+// TestIncrementalMatchesFullRebuild is the equivalence property test of the
+// incremental scheduling work: random small scenarios run through a runner
+// with the full-rebuild oracle armed (every slot's view, pending list, and
+// replication pick is checked against a from-scratch recount — mismatches
+// panic) and through a plain runner; the two must produce identical results
+// and identical event streams. The heuristic pool deliberately includes the
+// cancelling (proactive) and declining (passive) classes, which exercise the
+// mid-round rebuild and the Decline paths of the scheduler round.
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	names := append(core.Names(),
+		"passive-emct", "passive-mct", "proactive-emct", "proactive-mct",
+		"remct", "deadline")
+	checked := sim.NewRunner()
+	checked.EnableSlowChecks()
+	plain := sim.NewRunner()
+
+	runOn := func(runner *sim.Runner, seed uint64, h string) (*sim.Result, []sim.Event) {
+		cfg := randomScenarioConfig(t, seed, h)
+		var events []sim.Event
+		cfg.OnEvent = func(ev sim.Event) { events = append(events, ev) }
+		res, err := runner.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, h, err)
+		}
+		return res, events
+	}
+
+	f := func(seed uint64, pickH uint8) bool {
+		h := names[int(pickH)%len(names)]
+		resChecked, evChecked := runOn(checked, seed, h)
+		resPlain, evPlain := runOn(plain, seed, h)
+		if !reflect.DeepEqual(resChecked, resPlain) {
+			t.Logf("seed %d %s: checked result %+v, plain result %+v", seed, h, resChecked, resPlain)
+			return false
+		}
+		if !reflect.DeepEqual(evChecked, evPlain) {
+			t.Logf("seed %d %s: event streams diverge (%d vs %d events)",
+				seed, h, len(evChecked), len(evPlain))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalRunnerReuseStaysChecked pins that the oracle keeps passing
+// when one runner is reused across runs of different shapes (different m, p,
+// copy caps) — the reset path must re-index every incremental structure.
+func TestIncrementalRunnerReuseStaysChecked(t *testing.T) {
+	runner := sim.NewRunner()
+	runner.EnableSlowChecks()
+	for seed := uint64(100); seed < 130; seed++ {
+		cfg := randomScenarioConfig(t, seed, "emct*")
+		if _, err := runner.Run(cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package sim
+
+// EnableSlowChecks arms the full-rebuild equivalence oracle on the runner's
+// engine: every buildView is verified against buildViewFull, the originals
+// loop against a fresh scan of the task table, and every replication pick
+// against the reference least-covered scan (see fullcheck.go). Mismatches
+// panic. The flag survives Runner reuse across runs. Test-only.
+func (r *Runner) EnableSlowChecks() { r.e.slowChecks = true }

@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// This file retains the pre-incremental full-rebuild implementations as an
+// equivalence oracle. With slowChecks armed (test-only; see export_test.go)
+// the engine verifies, every slot, that the incremental structures — the
+// dirty-set view, the remaining-task count, the pending-originals list and
+// the replication bucket queue — agree exactly with a from-scratch recount
+// of the task table and worker states. Any divergence panics with the slot
+// and the two values, which the property tests surface as failures.
+
+// buildViewFull is the retained full-rebuild reference for buildView: it
+// recomputes every processor snapshot and recounts the remaining tasks from
+// the raw engine state, exactly as the pre-incremental engine did per slot.
+func (e *engine) buildViewFull(dst *View) {
+	dst.Slot = e.slot
+	dst.Iteration = e.iter
+	dst.Params = e.params
+	if cap(dst.Procs) < len(e.workers) {
+		dst.Procs = make([]ProcView, len(e.workers))
+	}
+	dst.Procs = dst.Procs[:len(e.workers)]
+	remaining := 0
+	for t := range e.tasks {
+		if !e.tasks[t].completed {
+			remaining++
+		}
+	}
+	dst.TasksRemaining = remaining
+	for i := range e.workers {
+		e.fillProcView(i, &dst.Procs[i])
+	}
+}
+
+// verifyView checks the incrementally maintained view against buildViewFull.
+func (e *engine) verifyView() {
+	e.buildViewFull(&e.checkView)
+	if e.view.TasksRemaining != e.checkView.TasksRemaining {
+		panic(fmt.Sprintf("sim: slot %d: incremental TasksRemaining %d, full rebuild %d",
+			e.slot, e.view.TasksRemaining, e.checkView.TasksRemaining))
+	}
+	for i := range e.view.Procs {
+		if e.view.Procs[i] != e.checkView.Procs[i] {
+			panic(fmt.Sprintf("sim: slot %d: stale view for processor %d: incremental %+v, full rebuild %+v",
+				e.slot, i, e.view.Procs[i], e.checkView.Procs[i]))
+		}
+	}
+}
+
+// verifyPending checks that the pending-originals list holds exactly the
+// incomplete zero-copy tasks, in ascending order — the set and order the
+// pre-incremental originals loop produced by scanning the whole task table.
+func (e *engine) verifyPending() {
+	got := e.trk.pendHead
+	for want := range e.tasks {
+		if e.tasks[want].completed || e.tasks[want].copies > 0 {
+			continue
+		}
+		if got != want {
+			panic(fmt.Sprintf("sim: slot %d: pending list yields task %d, full scan expects %d",
+				e.slot, got, want))
+		}
+		got = e.trk.pendNext[got]
+	}
+	if got != noTask {
+		panic(fmt.Sprintf("sim: slot %d: pending list has extra task %d past the full scan",
+			e.slot, got))
+	}
+}
+
+// verifyChains checks the bound-chain list against a full worker scan: it
+// must hold exactly the workers whose incoming copy still needs transfer
+// slots, in ascending worker order.
+func (e *engine) verifyChains() {
+	got := e.chainHead
+	for want := range e.workers {
+		if !e.workers[want].needsTransfer(e.params.Tprog) {
+			if e.inChain[want] {
+				panic(fmt.Sprintf("sim: slot %d: worker %d in chain list without an incomplete chain",
+					e.slot, want))
+			}
+			continue
+		}
+		if got != want {
+			panic(fmt.Sprintf("sim: slot %d: chain list yields worker %d, full scan expects %d",
+				e.slot, got, want))
+		}
+		got = e.chainNext[got]
+	}
+	if got != noWorker {
+		panic(fmt.Sprintf("sim: slot %d: chain list has extra worker %d past the full scan",
+			e.slot, got))
+	}
+}
+
+// verifyPipelines runs after finishSlot's completion and promotion passes:
+// no worker may still hold a finished computation (a completion the
+// finishers list missed) or a promotable prefetch (a promotion the dirty
+// set missed).
+func (e *engine) verifyPipelines() {
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.computing != nil && w.computing.computeDone >= w.proc.W {
+			panic(fmt.Sprintf("sim: slot %d: worker %d holds a finished computation the completion pass missed",
+				e.slot, i))
+		}
+		if w.computing == nil && w.incoming != nil && w.incoming.dataDone {
+			panic(fmt.Sprintf("sim: slot %d: worker %d holds a promotable prefetch the promotion pass missed",
+				e.slot, i))
+		}
+	}
+}
+
+// verifyLeastCovered checks one bucket-queue replication pick against the
+// reference O(m) least-covered scan.
+func (e *engine) verifyLeastCovered(got, gotCopies, copyCap int) {
+	best, bestCopies := noTask, copyCap
+	for t := range e.tasks {
+		if e.tasks[t].completed {
+			continue
+		}
+		total := e.tasks[t].copies + e.plannedCopies[t]
+		if total >= 1 && total < bestCopies {
+			best, bestCopies = t, total
+		}
+	}
+	if best != got || bestCopies != gotCopies {
+		panic(fmt.Sprintf("sim: slot %d: bucket queue picked task %d (%d copies), full scan picks %d (%d copies)",
+			e.slot, got, gotCopies, best, bestCopies))
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+// This file holds the engine's incremental task indexes. The scheduler round
+// used to recount and re-scan the whole task table every slot — O(m) for the
+// remaining-task count, O(m) for the originals loop, and O(m) *per pick* in
+// the replication loop. taskTracker shifts that cost to the mutation sites
+// (bind, completion, crash, cancellation, barrier), so a slot pays in
+// proportion to what actually changed.
+
+// noTask marks an absent link / empty list head.
+const noTask = -1
+
+// taskTracker indexes the task table for the scheduler round:
+//
+//   - remaining is the number of incomplete tasks (View.TasksRemaining),
+//     decremented at completion instead of recounted per slot. It also makes
+//     the iteration-barrier check O(1).
+//   - The pending list is a doubly-linked list, sorted by ascending task ID,
+//     of the unbegun originals — incomplete tasks with no live copy — which
+//     is exactly the set the originals loop plans for.
+//   - The replication buckets hold the incomplete tasks with >= 1 live copy
+//     (plus, during a round, this round's planned copies), bucketed by copy
+//     count; each bucket is a sorted doubly-linked list. The least-covered
+//     pick is the head of the first non-empty bucket: O(copyCap) instead of
+//     an O(m) scan per pick, with the reference scan's (fewest copies,
+//     lowest ID) order preserved exactly.
+//
+// All links are intrusive arrays indexed by task ID, so steady-state
+// maintenance allocates nothing. Insertions walk to their sorted position;
+// buckets and the mid-iteration pending list stay small (bounded by the live
+// copies, not by m), so the walks are short in practice.
+type taskTracker struct {
+	remaining int
+
+	pendHead int
+	pendNext []int
+	pendPrev []int
+
+	// bucketOf[t] is t's current bucket (its copy count, live + any round
+	// overlay), or noTask when it is in none.
+	bucketOf   []int
+	bucketHead []int
+	bktNext    []int
+	bktPrev    []int
+}
+
+// reset re-indexes a fresh iteration: all m tasks incomplete and pending, no
+// bucket occupied. Buffers are grown once and reused afterwards.
+func (k *taskTracker) reset(m, copyCap int) {
+	if cap(k.pendNext) < m {
+		k.pendNext = make([]int, m)
+		k.pendPrev = make([]int, m)
+		k.bucketOf = make([]int, m)
+		k.bktNext = make([]int, m)
+		k.bktPrev = make([]int, m)
+	}
+	k.pendNext = k.pendNext[:m]
+	k.pendPrev = k.pendPrev[:m]
+	k.bucketOf = k.bucketOf[:m]
+	k.bktNext = k.bktNext[:m]
+	k.bktPrev = k.bktPrev[:m]
+	if cap(k.bucketHead) < copyCap+1 {
+		k.bucketHead = make([]int, copyCap+1)
+	}
+	k.bucketHead = k.bucketHead[:copyCap+1]
+	for c := range k.bucketHead {
+		k.bucketHead[c] = noTask
+	}
+	k.remaining = m
+	for t := 0; t < m; t++ {
+		k.pendNext[t] = t + 1
+		k.pendPrev[t] = t - 1
+		k.bucketOf[t] = noTask
+	}
+	k.pendNext[m-1] = noTask
+	k.pendHead = 0
+}
+
+// listInsertSorted links id into the sorted intrusive doubly-linked list
+// described by (head, next, prev), walking from the head to its ascending
+// position. Shared by the pending list, the replication buckets, and the
+// engine's bound-chain list.
+func listInsertSorted(head *int, next, prev []int, id int) {
+	p, n := noTask, *head
+	for n != noTask && n < id {
+		p, n = n, next[n]
+	}
+	next[id], prev[id] = n, p
+	if p == noTask {
+		*head = id
+	} else {
+		next[p] = id
+	}
+	if n != noTask {
+		prev[n] = id
+	}
+}
+
+// listRemove unlinks id from the list described by (head, next, prev).
+func listRemove(head *int, next, prev []int, id int) {
+	p, n := prev[id], next[id]
+	if p == noTask {
+		*head = n
+	} else {
+		next[p] = n
+	}
+	if n != noTask {
+		prev[n] = p
+	}
+}
+
+// pendRemove unlinks t from the pending list.
+func (k *taskTracker) pendRemove(t int) {
+	listRemove(&k.pendHead, k.pendNext, k.pendPrev, t)
+}
+
+// pendInsert links t back into the pending list at its sorted position
+// (a task whose last copy crashed or was cancelled becomes an unbegun
+// original again).
+func (k *taskTracker) pendInsert(t int) {
+	listInsertSorted(&k.pendHead, k.pendNext, k.pendPrev, t)
+}
+
+// bucketAdd inserts t into bucket c at its sorted position.
+func (k *taskTracker) bucketAdd(t, c int) {
+	listInsertSorted(&k.bucketHead[c], k.bktNext, k.bktPrev, t)
+	k.bucketOf[t] = c
+}
+
+// bucketRemove unlinks t from its current bucket.
+func (k *taskTracker) bucketRemove(t int) {
+	listRemove(&k.bucketHead[k.bucketOf[t]], k.bktNext, k.bktPrev, t)
+	k.bucketOf[t] = noTask
+}
+
+// bucketMove re-keys t to bucket c.
+func (k *taskTracker) bucketMove(t, c int) {
+	k.bucketRemove(t)
+	k.bucketAdd(t, c)
+}
+
+// leastCovered returns the lowest-ID task in the lowest non-empty bucket
+// below copyCap — the replication loop's "fewest copies first, lowest task
+// ID on ties" pick — or (noTask, copyCap) when no task is replicable.
+func (k *taskTracker) leastCovered(copyCap int) (task, copies int) {
+	for c := 1; c < copyCap; c++ {
+		if h := k.bucketHead[c]; h != noTask {
+			return h, c
+		}
+	}
+	return noTask, copyCap
+}
