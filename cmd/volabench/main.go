@@ -8,7 +8,11 @@
 //	volabench -exp emctgain            EMCT-vs-MCT makespan ratio + Wilcoxon
 //	volabench -exp emctgain-norepl     the same with replication disabled
 //	volabench -exp tracesweep          Table 2 layout on synthetic FTA-style
-//	                                   traces (-trace-style, -trace-len)
+//	                                   traces (-trace-style, -trace-len), or on
+//	                                   recorded trace files (-trace-file, repeatable)
+//	volabench -exp dfrs                batch-vs-fractional comparison (DFRS-style):
+//	                                   FCFS + EASY batch baselines head-to-head
+//	                                   with the paper's heuristics, per-cell columns
 //	volabench -print-grid              the Table 1 parameter grid
 //
 // -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
@@ -22,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	volatile "repro"
@@ -31,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep")
+		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs")
 		scenarios  = flag.Int("scenarios", 6, "scenarios per grid cell")
 		trials     = flag.Int("trials", 4, "trials per scenario")
 		seed       = flag.Uint64("seed", 42, "sweep seed")
@@ -44,6 +49,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	var traceFiles multiFlag
+	flag.Var(&traceFiles, "trace-file", "tracesweep: replay this recorded trace file (repeatable; format of trace.Set.Write / cmd/volatrace)")
 	flag.Parse()
 
 	if *grid {
@@ -54,7 +61,7 @@ func main() {
 	// Validate the experiment name before any profile starts, so a typo
 	// exits cleanly instead of leaving a truncated profile file behind.
 	switch *exp {
-	case "table2", "figure2", "table3x5", "table3x10", "tracesweep",
+	case "table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs",
 		"ablation", "emctgain", "emctgain-norepl":
 	default:
 		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
@@ -121,11 +128,34 @@ func main() {
 			os.Exit(2)
 		}
 		res, err := volatile.TraceSweep(volatile.TraceSweepConfig{
+			Cells:      volatile.PaperGrid(),
+			Scenarios:  *scenarios,
+			Trials:     *trials,
+			TraceLen:   *traceLen,
+			Style:      style,
+			Seed:       *seed,
+			Workers:    *workers,
+			Progress:   progress,
+			TraceFiles: traceFiles,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volabench:", err)
+			os.Exit(1)
+		}
+		if len(traceFiles) > 0 {
+			fmt.Printf("Trace-driven Table 2 — %d recorded trace file(s) (%d instances, %d censored runs, %v)\n\n",
+				len(traceFiles), res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		} else {
+			fmt.Printf("Trace-driven Table 2 — synthetic %s traces, %d slots each (%d instances, %d censored runs, %v)\n\n",
+				style, *traceLen, res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		}
+		printRows(res.Overall, *csvPath)
+
+	case "dfrs":
+		res, err := volatile.CompareSweep(volatile.CompareConfig{
 			Cells:     volatile.PaperGrid(),
 			Scenarios: *scenarios,
 			Trials:    *trials,
-			TraceLen:  *traceLen,
-			Style:     style,
 			Seed:      *seed,
 			Workers:   *workers,
 			Progress:  progress,
@@ -134,9 +164,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "volabench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("Trace-driven Table 2 — synthetic %s traces, %d slots each (%d instances, %d censored runs, %v)\n\n",
-			style, *traceLen, res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		fmt.Printf("DFRS comparison — batch baselines vs fractional heuristics (%d instances, %d censored runs, %v)\n\n",
+			res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
+		fmt.Println()
+		printCompareCells(res)
 
 	case "ablation":
 		runAblation(*scenarios, *trials, *seed, *workers, progress)
@@ -312,6 +344,31 @@ func runEMCTGain(scenarios, trials int, seed uint64, noReplication bool) {
 	verdict, err := stats.PairedComparison("emct", "mct", emct, mct)
 	fatalIf(err)
 	fmt.Println(" ", verdict)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// printCompareCells renders the per-cell batch-vs-fractional columns: each
+// family's best average dfb (against the per-instance best over both
+// families) and the gap batch concedes.
+func printCompareCells(res *volatile.SweepResult) {
+	rows := volatile.CompareCells(res)
+	tb := report.NewTable("cell", "best fractional", "dfb", "best batch", "dfb", "batch gap")
+	for _, r := range rows {
+		tb.AddRow(r.Cell.String(),
+			r.BestFractional, fmt.Sprintf("%.2f", r.FractionalDFB),
+			r.BestBatch, fmt.Sprintf("%.2f", r.BatchDFB),
+			fmt.Sprintf("%+.2f", r.Gap))
+	}
+	fmt.Println("Per-cell degradation-from-best, batch vs fractional:")
+	fmt.Print(tb.String())
 }
 
 func parseTraceStyle(name string) (volatile.TraceStyle, error) {

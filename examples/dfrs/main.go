@@ -1,0 +1,77 @@
+// DFRS walkthrough: what does conventional batch scheduling cost on
+// volatile resources, compared with the paper's fractional heuristics?
+//
+// Following "Dynamic Fractional Resource Scheduling vs. Batch Scheduling"
+// (Casanova, Stillwell, Vivien), every task is submitted to the batch
+// baselines as a rigid job holding an exclusive whole-worker reservation,
+// killed and resubmitted when its worker crashes — no replication, no
+// migration, no availability models. Both batch disciplines (FCFS and
+// EASY backfilling) and the paper's schedulers then face the *same*
+// availability trajectories, so the makespans are directly comparable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	volatile "repro"
+)
+
+func main() {
+	// One mid-grid instance first: same scenario, same trial seed — same
+	// world for all four contenders.
+	cell := volatile.Cell{Tasks: 20, Ncom: 10, Wmin: 3}
+	scn := volatile.NewScenario(42, cell, volatile.ScenarioOptions{})
+
+	fmt.Println("One instance, four schedulers, identical availability trajectories:")
+	for _, name := range []string{"emct*", "mct", volatile.BatchEASY, volatile.BatchFCFS} {
+		var res *volatile.RunResult
+		var err error
+		if name == volatile.BatchEASY || name == volatile.BatchFCFS {
+			res, err = scn.RunBatch(name, 1)
+		} else {
+			res, err = scn.Run(name, 1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s %4d slots for %d iterations\n",
+			name, res.Makespan, len(res.IterationEnds))
+	}
+
+	// Then a small comparison sweep: the dfb metric ranks the batch
+	// disciplines against a fractional delegation over many instances,
+	// with the per-instance best taken over BOTH families.
+	fmt.Println("\nComparison sweep (3 cells × 4 scenarios × 3 trials):")
+	res, err := volatile.CompareSweep(volatile.CompareConfig{
+		Cells: []volatile.Cell{
+			{Tasks: 5, Ncom: 5, Wmin: 2},
+			{Tasks: 20, Ncom: 10, Wmin: 3},
+			{Tasks: 40, Ncom: 20, Wmin: 5},
+		},
+		Heuristics: []string{"emct*", "mct", "random2w"},
+		Scenarios:  4,
+		Trials:     3,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-11s %12s %7s\n", "algorithm", "avg dfb (%)", "wins")
+	for _, row := range res.Overall {
+		fmt.Printf("  %-11s %12.2f %7d\n", row.Name, row.AvgDFB, row.Wins)
+	}
+
+	fmt.Println("\nPer-cell gap (positive = batch trails the best fractional heuristic):")
+	for _, row := range volatile.CompareCells(res) {
+		fmt.Printf("  %-22s fractional %-9s %7.2f   batch %-11s %7.2f   gap %+8.2f\n",
+			row.Cell, row.BestFractional, row.FractionalDFB,
+			row.BestBatch, row.BatchDFB, row.Gap)
+	}
+
+	fmt.Println("\nReading the numbers: batch reservations pay for volatility three")
+	fmt.Println("times — idle reservations while a worker is RECLAIMED, full restarts")
+	fmt.Println("on every crash, and head-of-line blocking (FCFS) that EASY only")
+	fmt.Println("partially recovers. The fractional heuristics avoid all three by")
+	fmt.Println("replicating tasks and consulting per-worker availability models.")
+}

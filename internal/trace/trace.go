@@ -103,7 +103,15 @@ func Read(r io.Reader) (*Set, error) {
 	if p <= 0 || n <= 0 {
 		return nil, fmt.Errorf("trace: invalid dimensions %dx%d", p, n)
 	}
-	out := &Set{Vectors: make([]avail.Vector, 0, p)}
+	// Cap the pre-allocation: p comes from untrusted input, and a header
+	// claiming billions of vectors must not reserve gigabytes before a
+	// single line is read. Memory may only grow with actual input — append
+	// extends the slice as genuine vectors arrive.
+	preAlloc := p
+	if preAlloc > 1024 {
+		preAlloc = 1024
+	}
+	out := &Set{Vectors: make([]avail.Vector, 0, preAlloc)}
 	for i := 0; i < p; i++ {
 		line, err := br.ReadString('\n')
 		if err != nil && !(err == io.EOF && len(line) > 0) {

@@ -85,10 +85,15 @@ type Options struct {
 	MaxSlots int
 }
 
+// DefaultProcessors is the paper's platform size, the default for
+// Options.P. Exported so callers that must anticipate the generated
+// platform size (e.g. trace-file validation) cannot drift from it.
+const DefaultProcessors = 20
+
 // withDefaults fills zero fields.
 func (o Options) withDefaults() Options {
 	if o.P == 0 {
-		o.P = 20
+		o.P = DefaultProcessors
 	}
 	if o.Iterations == 0 {
 		o.Iterations = 10

@@ -96,15 +96,24 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	})
 }
 
+// validateSweepShape checks the grid parameters every sweep flavour
+// shares (RunSweep, TraceSweep, CompareSweep, BatchSweep).
+func validateSweepShape(cells []Cell, scenarios, trials int) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("volatile: sweep with no cells")
+	}
+	if scenarios <= 0 || trials <= 0 {
+		return fmt.Errorf("volatile: sweep needs Scenarios > 0 and Trials > 0")
+	}
+	return nil
+}
+
 // sweepHeuristics validates the common sweep parameters and resolves the
 // heuristic list, rejecting unknown names via a registry lookup (no
 // throwaway simulation runs) so misconfigured sweeps fail fast.
 func sweepHeuristics(cells []Cell, scenarios, trials int, heuristics []string) ([]string, error) {
-	if len(cells) == 0 {
-		return nil, fmt.Errorf("volatile: sweep with no cells")
-	}
-	if scenarios <= 0 || trials <= 0 {
-		return nil, fmt.Errorf("volatile: sweep needs Scenarios > 0 and Trials > 0")
+	if err := validateSweepShape(cells, scenarios, trials); err != nil {
+		return nil, err
 	}
 	if len(heuristics) == 0 {
 		heuristics = Heuristics()

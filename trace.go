@@ -21,6 +21,8 @@ package volatile
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -31,6 +33,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // TraceStyle selects the synthetic sojourn-distribution family of trace
@@ -226,9 +229,22 @@ type TraceSweepConfig struct {
 	Trials int
 	// TraceLen is the recorded length of each availability vector in slots
 	// (default 1000; past the end, processors hold their last state).
+	// Ignored when TraceFiles is set.
 	TraceLen int
 	// Style selects the synthetic sojourn family (default TraceWeibull).
+	// Ignored when TraceFiles is set.
 	Style TraceStyle
+	// TraceFiles, when non-empty, replaces synthetic generation with
+	// recorded trace sets read from disk (the format trace.Set.Write
+	// produces — e.g. converted Failure Trace Archive data, or the output
+	// of cmd/volatrace). Trial t of every scenario replays
+	// TraceFiles[t mod len(TraceFiles)], so recorded vectors flow through
+	// the identical sharded pipeline: every heuristic of an instance faces
+	// the same replayed vectors, models are fitted once per (scenario,
+	// file) through the per-scenario intern cache, and results stay
+	// bit-identical for any worker count. Every file must hold exactly
+	// Options.Processors vectors (default 20) of length >= 2.
+	TraceFiles []string
 	// Options tunes scenario generation (platform size, iterations, ...).
 	Options ScenarioOptions
 	// Seed makes the whole sweep reproducible.
@@ -246,18 +262,30 @@ const traceSeedSalt = 0x7ACE5
 // TraceSweep executes a trace-driven sweep through the same sharded
 // pipeline as RunSweep: per-worker shard aggregation, deterministic
 // chunk-order merge, bit-identical results for every worker count. Each
-// instance generates one trace set, fits models once (interned per
+// instance resolves one trace set — synthetic by default, or recorded
+// from disk when TraceFiles is set — fits models once (interned per
 // scenario), and confronts every heuristic with the same replayed vectors.
 func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
 	if err != nil {
 		return nil, err
 	}
+	var sets []*trace.Set
+	if len(cfg.TraceFiles) > 0 {
+		p := cfg.Options.Processors
+		if p == 0 {
+			p = workload.DefaultProcessors
+		}
+		sets, err = loadTraceSets(cfg.TraceFiles, p)
+		if err != nil {
+			return nil, err
+		}
+	}
 	traceLen := cfg.TraceLen
 	if traceLen == 0 {
 		traceLen = 1000
 	}
-	if traceLen < 2 {
+	if sets == nil && traceLen < 2 {
 		return nil, fmt.Errorf("volatile: TraceLen %d too short to fit models (need >= 2)", traceLen)
 	}
 	return runSharded(shardedSweep{
@@ -271,14 +299,25 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
 			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
-				// Each (scenario, trial) has a unique trace set and all its
-				// heuristic runs share the tm below directly, so interning
-				// synthetic sets in the scenario cache would only retain
-				// memory — build them uncached and let them die with the
-				// instance. (Explicit-vector runs, which genuinely repeat,
-				// go through the cache in tracedModels.)
-				genSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx), traceSeedSalt)
-				tm, err := synthTraceModels(scn, genSeed, cfg.Style, traceLen)
+				var tm *traceModels
+				var err error
+				if sets != nil {
+					// Recorded sets repeat across scenarios (and across
+					// trials when Trials > len(sets)), so intern the fitted
+					// models through the per-scenario cache: one fit per
+					// (scenario, file), shared by every heuristic and every
+					// trial replaying that file.
+					tm, err = scn.fileTraceModels(sets, trialIdx%len(sets))
+				} else {
+					// Each (scenario, trial) has a unique synthetic trace set
+					// and all its heuristic runs share the tm below directly,
+					// so interning synthetic sets in the scenario cache would
+					// only retain memory — build them uncached and let them
+					// die with the instance. (Explicit-vector runs, which
+					// genuinely repeat, go through the cache in tracedModels.)
+					genSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx), traceSeedSalt)
+					tm, err = synthTraceModels(scn, genSeed, cfg.Style, traceLen)
+				}
 				if err != nil {
 					return 0, err
 				}
@@ -298,6 +337,47 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 				return nCens, nil
 			}
 		},
+	})
+}
+
+// loadTraceSets reads and validates every trace file up front, so a
+// misconfigured sweep fails before any simulation work: each file must
+// parse (trace.Read), hold exactly p vectors, and be long enough to fit
+// Markov models on.
+func loadTraceSets(paths []string, p int) ([]*trace.Set, error) {
+	sets := make([]*trace.Set, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("volatile: trace file: %w", err)
+		}
+		set, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("volatile: trace file %s: %w", path, err)
+		}
+		if got := len(set.Vectors); got != p {
+			return nil, fmt.Errorf("volatile: trace file %s has %d vectors for %d processors",
+				path, got, p)
+		}
+		if set.Len() < 2 {
+			return nil, fmt.Errorf("volatile: trace file %s: vectors of length %d too short to fit models (need >= 2)",
+				path, set.Len())
+		}
+		sets[i] = set
+	}
+	return sets, nil
+}
+
+// fileTraceModels resolves a recorded trace set through the scenario's
+// intern cache, fitting the per-processor belief models on the first
+// sighting only. The cache key is the file's index in the sweep's
+// TraceFiles list — stable for the sweep's lifetime, which is exactly the
+// cache's lifetime (it lives on the Scenario).
+func (s *Scenario) fileTraceModels(sets []*trace.Set, idx int) (*traceModels, error) {
+	key := "file\x00" + strconv.Itoa(idx)
+	return s.traces.models(key, func() (*traceModels, error) {
+		return fitTraceModels(s, sets[idx].Vectors)
 	})
 }
 
