@@ -38,6 +38,8 @@ type document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	var require requireFlag
+	flag.Var(&require, "require", "fail unless this benchmark was parsed (repeatable; matches with or without the -GOMAXPROCS suffix)")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -47,6 +49,11 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if missing := missingRequired(doc, require); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required benchmark(s) missing from input: %s\n",
+			strings.Join(missing, ", "))
 		os.Exit(1)
 	}
 
@@ -64,6 +71,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// requireFlag collects the repeatable -require values.
+type requireFlag []string
+
+func (r *requireFlag) String() string { return strings.Join(*r, ",") }
+func (r *requireFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// missingRequired returns the -require names absent from the parsed
+// document. A requirement matches a benchmark verbatim or with go test's
+// -GOMAXPROCS suffix ("BenchmarkTable2" matches "BenchmarkTable2-8"), so a
+// pinned CI requirement keeps holding on multi-core runners. The caller
+// fails on a non-empty result: a bench job whose output lost its benchmark
+// (build failure mid-pipe, renamed benchmark, panicking run) must fail
+// loudly instead of recording a gap in the artifact history.
+func missingRequired(doc *document, require []string) []string {
+	var missing []string
+	for _, req := range require {
+		found := false
+		for _, b := range doc.Benchmarks {
+			if b.Name == req || strings.HasPrefix(b.Name, req+"-") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, req)
+		}
+	}
+	return missing
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

@@ -58,13 +58,10 @@ func main() {
 		return
 	}
 
-	// Validate the experiment name before any profile starts, so a typo
-	// exits cleanly instead of leaving a truncated profile file behind.
-	switch *exp {
-	case "table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs",
-		"ablation", "emctgain", "emctgain-norepl":
-	default:
-		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
+	// Validate everything before any profile starts, so a typo exits
+	// cleanly instead of leaving a truncated profile file behind.
+	if err := validateArgs(*exp, *scenarios, *trials, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateArgsTable pins the CLI's input validation: every experiment
+// name the usage text advertises is accepted with the default knobs, and
+// unusable knobs fail fast with an actionable message.
+func TestValidateArgsTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		exp       string
+		scenarios int
+		trials    int
+		workers   int
+		wantErr   string // substring; empty = valid
+	}{
+		// Every advertised experiment with the flag defaults.
+		{"table2-defaults", "table2", 6, 4, 0, ""},
+		{"figure2", "figure2", 6, 4, 0, ""},
+		{"table3x5", "table3x5", 6, 4, 0, ""},
+		{"table3x10", "table3x10", 6, 4, 0, ""},
+		{"ablation", "ablation", 6, 4, 0, ""},
+		{"emctgain", "emctgain", 6, 4, 0, ""},
+		{"emctgain-norepl", "emctgain-norepl", 6, 4, 0, ""},
+		{"tracesweep", "tracesweep", 6, 4, 0, ""},
+		{"dfrs", "dfrs", 6, 4, 0, ""},
+		// Explicit worker counts stay valid; 0 means all cores.
+		{"explicit-workers", "table2", 1, 1, 8, ""},
+
+		{"zero-scenarios", "table2", 0, 4, 0, "-scenarios must be positive"},
+		{"negative-scenarios", "table2", -3, 4, 0, "-scenarios must be positive"},
+		{"zero-trials", "table2", 6, 0, 0, "-trials must be positive"},
+		{"negative-trials", "table2", 6, -1, 0, "-trials must be positive"},
+		{"negative-workers", "table2", 6, 4, -2, "-workers must be >= 0"},
+		{"unknown-exp", "tabel2", 6, 4, 0, `unknown experiment "tabel2"`},
+		{"empty-exp", "", 6, 4, 0, "unknown experiment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateArgs(c.exp, c.scenarios, c.trials, c.workers)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateArgs(%q,%d,%d,%d) = %v, want ok",
+						c.exp, c.scenarios, c.trials, c.workers, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validateArgs(%q,%d,%d,%d) = %v, want error containing %q",
+					c.exp, c.scenarios, c.trials, c.workers, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestUnknownExperimentListsAllNames pins that a typo'd -exp names every
+// valid experiment, so the error is self-serve.
+func TestUnknownExperimentListsAllNames(t *testing.T) {
+	err := validateArgs("nope", 1, 1, 0)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, e := range experiments {
+		if !strings.Contains(err.Error(), e) {
+			t.Fatalf("error %q does not list experiment %q", err, e)
+		}
+	}
+}

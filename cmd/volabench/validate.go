@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// experiments lists every -exp value main dispatches on, in the order the
+// usage text presents them. validateArgs and the dispatch switch must agree;
+// the CLI table test pins both directions.
+var experiments = []string{
+	"table2", "figure2", "table3x5", "table3x10",
+	"ablation", "emctgain", "emctgain-norepl", "tracesweep", "dfrs",
+}
+
+// validateArgs rejects unusable sweep parameters up front: a non-positive
+// -scenarios or -trials would silently produce an empty sweep (or a
+// divide-by-zero summary), a negative -workers would be passed to the
+// pipeline as a nonsense concurrency, and an unknown -exp should name the
+// valid experiments instead of leaving the user to read the source.
+func validateArgs(exp string, scenarios, trials, workers int) error {
+	if scenarios <= 0 {
+		return fmt.Errorf("-scenarios must be positive (got %d)", scenarios)
+	}
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive (got %d)", trials)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, where 0 means all cores (got %d)", workers)
+	}
+	for _, e := range experiments {
+		if exp == e {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/sim"
@@ -24,41 +25,199 @@ const (
 
 // greedySched implements the MCT/EMCT/LW/UD family: it scores every eligible
 // processor for the task at hand and picks the best (lowest score; ties go
-// to the lowest processor ID, which keeps runs deterministic).
+// to the lowest processor ID, which keeps runs deterministic; a NaN score
+// can neither win nor shadow a real one — see scoreLess).
+//
+// On engine-built views (which carry change tracking, see sim.View.Epoch)
+// scoring is incremental: scores live in a per-worker cache and only
+// candidates whose inputs changed — their view snapshot, their NQ entry
+// after a pick, or (corrected modes) the communication factor — are
+// re-evaluated; the argmin pass compares cached values under the same
+// scoreLess order as the reference scan. On untracked (hand-built) views,
+// every Pick is the reference full scan. Both paths are bit-identical by
+// construction and cross-checked by the slow-check oracle.
 type greedySched struct {
 	name string
 	mode correctionMode
 	// score maps (processor view, estimated completion time) to a
 	// lower-is-better score.
 	score func(pv *sim.ProcView, ct float64) float64
+	// cache is the incremental scoring state, created on first tracked
+	// Pick; noCache forces the reference path (the equivalence tests'
+	// "plain" scheduler).
+	cache   *pickCache
+	noCache bool
+	// mutSkip* deliberately break one cache-invalidation source each
+	// (test-only): they exist so the mutation tests can prove the
+	// slow-check oracle detects a rotted dirty-set contract.
+	mutSkipEpoch, mutSkipNQ, mutSkipNA bool
 }
 
 // Name implements sim.Scheduler.
 func (s *greedySched) Name() string { return s.name }
 
-// Pick implements sim.Scheduler.
-func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+// PoolSafe implements sim.Poolable: all greedy state is keyed on the
+// engine's process-wide unique change epochs, so reuse across runs (and
+// even engines) cannot validate a stale score.
+func (s *greedySched) PoolSafe() bool { return true }
+
+// commFactor returns the communication slowdown factor ceil(n_active/n_com)
+// used by the corrected modes, clamped so an all-busy round still pays the
+// raw cost once (matching CorrectedTdata's n_active clamp and CTCorrected's
+// factor clamp — for n_active >= 1 all three agree exactly).
+func commFactor(na, ncom int) int {
+	f := (na + ncom - 1) / ncom
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// scoreWithFactor evaluates worker q's score given its precomputed
+// communication factor (ignored in plain mode).
+func (s *greedySched) scoreWithFactor(v *sim.View, rs *sim.RoundState, q, factor int) float64 {
+	pv := &v.Procs[q]
+	var ct float64
+	switch s.mode {
+	case plainComm:
+		ct = float64(CT(pv, rs.NQ[q]+1, v.Params.Tdata))
+	case eq2Comm:
+		ct = float64(CT(pv, rs.NQ[q]+1, factor*v.Params.Tdata))
+	case aggressiveComm:
+		ct = float64(CTCorrected(pv, rs.NQ[q]+1, v.Params, factor))
+	}
+	return s.score(pv, ct)
+}
+
+// scoreOf evaluates worker q's score from scratch (the reference
+// evaluation; the cache stores exactly these values).
+func (s *greedySched) scoreOf(v *sim.View, rs *sim.RoundState, q int) float64 {
+	factor := 0
+	if s.mode != plainComm {
+		factor = commFactor(effectiveNActive(&v.Procs[q], rs), v.Params.Ncom)
+	}
+	return s.scoreWithFactor(v, rs, q, factor)
+}
+
+// pickFlat is the reference argmin: a fresh evaluation of every eligible
+// candidate, seeded from a real first evaluation (never a sentinel, so an
+// all-+Inf slate still tie-breaks to the lowest ID and NaN cannot shadow a
+// finite score).
+func (s *greedySched) pickFlat(v *sim.View, eligible []int, rs *sim.RoundState) (int, float64) {
 	best := eligible[0]
-	bestScore := math.Inf(1)
-	for _, q := range eligible {
-		pv := &v.Procs[q]
-		var ct float64
-		switch s.mode {
-		case plainComm:
-			ct = float64(CT(pv, rs.NQ[q]+1, v.Params.Tdata))
-		case eq2Comm:
-			ct = float64(CT(pv, rs.NQ[q]+1, CorrectedTdata(v.Params, effectiveNActive(pv, rs))))
-		case aggressiveComm:
-			na := effectiveNActive(pv, rs)
-			factor := (na + v.Params.Ncom - 1) / v.Params.Ncom
-			ct = float64(CTCorrected(pv, rs.NQ[q]+1, v.Params, factor))
-		}
-		score := s.score(pv, ct)
-		if score < bestScore || (score == bestScore && q < best) {
+	bestScore := s.scoreOf(v, rs, best)
+	for _, q := range eligible[1:] {
+		score := s.scoreOf(v, rs, q)
+		if scoreLess(score, q, bestScore, best) {
 			best, bestScore = q, score
 		}
 	}
+	return best, bestScore
+}
+
+// cacheValid reports whether worker q's cached score is current: the view
+// snapshot, the NQ entry and (corrected modes) the communication factor it
+// was computed from all compare equal to the present inputs. The factor is
+// the caller's precomputed commFactor for q (ignored in plain mode).
+func (s *greedySched) cacheValid(c *pickCache, v *sim.View, rs *sim.RoundState, q, factor int) bool {
+	if !s.mutSkipEpoch && c.scoredEp[q] != v.ProcEpochs[q] {
+		return false
+	}
+	if !s.mutSkipNQ && c.scoredNQ[q] != rs.NQ[q] {
+		return false
+	}
+	if s.mode != plainComm && !s.mutSkipNA && c.scoredFactor[q] != factor {
+		return false
+	}
+	return true
+}
+
+// Pick implements sim.Scheduler.
+func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	if s.noCache || v.Epoch == 0 || len(v.ProcEpochs) != len(v.Procs) {
+		best, _ := s.pickFlat(v, eligible, rs)
+		return best
+	}
+	c := s.cache
+	if c == nil {
+		c = &pickCache{}
+		s.cache = c
+	}
+	c.ensure(len(v.Procs))
+
+	// One validated pass over the slate: per candidate, compare the cached
+	// score's recorded inputs against the current ones (a handful of
+	// integer compares) and re-evaluate only on mismatch, tracking the
+	// argmin in the same order and traversal as the reference scan — so
+	// equivalence is structural, and the per-decision cost is
+	// O(changed evaluations + |eligible| compares).
+	best := -1
+	var bestScore float64
+	corrected := s.mode != plainComm
+	var factorEngaged, factorFresh int
+	if corrected {
+		// Per candidate, the effective n_active is rs.NActive plus one iff
+		// picking the candidate would newly activate it, so only two factor
+		// values can occur in one Pick; hoist both ceil-divisions.
+		factorEngaged = commFactor(rs.NActive, v.Params.Ncom)
+		factorFresh = commFactor(rs.NActive+1, v.Params.Ncom)
+	}
+	for _, q := range eligible {
+		factor := 0
+		if corrected {
+			if pv := &v.Procs[q]; rs.NQ[q] == 0 && !pv.Busy() {
+				factor = factorFresh
+			} else {
+				factor = factorEngaged
+			}
+		}
+		var sc float64
+		if s.cacheValid(c, v, rs, q, factor) {
+			sc = c.score[q]
+		} else {
+			sc = s.scoreWithFactor(v, rs, q, factor)
+			c.score[q] = sc
+			c.scoredEp[q] = v.ProcEpochs[q]
+			c.scoredNQ[q] = rs.NQ[q]
+			if corrected {
+				c.scoredFactor[q] = factor
+			}
+		}
+		if best < 0 || scoreLess(sc, q, bestScore, best) {
+			best, bestScore = q, sc
+		}
+	}
+	if v.SlowChecks {
+		s.verifyAgainstRescan(c, v, eligible, rs, best)
+	}
 	return best
+}
+
+// verifyAgainstRescan is the full-rescore oracle: with slow checks armed,
+// every cached decision is rederived from a fresh scan — the argmin (and
+// its exact score bits) plus every valid cache entry on the slate. Any
+// divergence means an invalidation site rotted; panic like the engine's
+// own slow checks do.
+func (s *greedySched) verifyAgainstRescan(c *pickCache, v *sim.View, eligible []int, rs *sim.RoundState, best int) {
+	fb, fscore := s.pickFlat(v, eligible, rs)
+	if fb != best || math.Float64bits(fscore) != math.Float64bits(c.score[best]) {
+		panic(fmt.Sprintf("core: %s: slot %d: incremental argmin (worker %d, score %v) != full rescan (worker %d, score %v)",
+			s.name, v.Slot, best, c.score[best], fb, fscore))
+	}
+	for _, q := range eligible {
+		factor := 0
+		if s.mode != plainComm {
+			factor = commFactor(effectiveNActive(&v.Procs[q], rs), v.Params.Ncom)
+		}
+		if !s.cacheValid(c, v, rs, q, factor) {
+			continue
+		}
+		fresh := s.scoreOf(v, rs, q)
+		if math.Float64bits(fresh) != math.Float64bits(c.score[q]) {
+			panic(fmt.Sprintf("core: %s: slot %d: stale cached score for worker %d: cached %v, fresh %v",
+				s.name, v.Slot, q, c.score[q], fresh))
+		}
+	}
 }
 
 // scoreMCT minimizes the estimated completion time itself.

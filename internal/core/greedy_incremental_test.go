@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/avail"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// randomPickScenario materializes one random small scenario deterministically
+// from seed, with the given scheduler. Contention-prone parameters (small
+// ncom relative to m) are drawn on purpose: evaporated plans are what make a
+// worker's NQ entry change while its view snapshot does not, which is the
+// subtle half of the cache-invalidation contract.
+func randomPickScenario(t *testing.T, seed uint64, sched sim.Scheduler) sim.Config {
+	t.Helper()
+	r := rng.New(seed)
+	p := 2 + r.Intn(8)
+	wmin := 1 + r.Intn(4)
+	pl := platform.RandomPlatform(r, p, wmin)
+	prm := platform.Params{
+		M:           1 + r.Intn(10),
+		Iterations:  1 + r.Intn(3),
+		Ncom:        1 + r.Intn(3),
+		Tprog:       r.Intn(10),
+		Tdata:       r.Intn(4),
+		MaxReplicas: r.Intn(3),
+		MaxSlots:    300000,
+	}
+	procs := make([]avail.Process, pl.P())
+	for i, proc := range pl.Processors {
+		procs[i] = proc.Avail.NewProcess(r.Split(), proc.Avail.SampleStationary(r))
+	}
+	return sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched}
+}
+
+// pickRecorder wraps a scheduler and logs every (slot, task, replica, pick)
+// decision, so two runs can be compared pick for pick rather than only
+// through their event streams.
+type pickRecorder struct {
+	inner sim.Scheduler
+	log   [][4]int
+}
+
+func (p *pickRecorder) Name() string { return p.inner.Name() }
+func (p *pickRecorder) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
+	q := p.inner.Pick(v, eligible, rs, ti)
+	rep := 0
+	if ti.Replica {
+		rep = 1
+	}
+	p.log = append(p.log, [4]int{v.Slot, ti.Task, rep, q})
+	return q
+}
+
+// greedyVariants lists every greedy construction the incremental layer
+// covers: the paper family in all three correction modes plus the
+// risk-averse extension (which shares greedySched).
+func greedyVariants() map[string]func() *greedySched {
+	out := map[string]func() *greedySched{}
+	for _, base := range []string{"mct", "emct", "lw", "ud"} {
+		for _, mode := range []correctionMode{plainComm, eq2Comm, aggressiveComm} {
+			base, mode := base, mode
+			name := fmt.Sprintf("%s-mode%d", base, mode)
+			out[name] = func() *greedySched {
+				return NewGreedy(base, mode).(*greedySched)
+			}
+		}
+	}
+	out["remct"] = func() *greedySched { return NewRiskAverse(1).(*greedySched) }
+	return out
+}
+
+// TestGreedyPickStreamMatchesFlat is the equivalence property test of the
+// incremental scoring layer: for random scenarios, a cached greedy scheduler
+// and the plain full-scan scheduler must make the identical pick at every
+// single decision — compared pick for pick, event for event, and on the
+// final result.
+func TestGreedyPickStreamMatchesFlat(t *testing.T) {
+	variants := greedyVariants()
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+
+	runOnce := func(seed uint64, s *greedySched) (*sim.Result, []sim.Event, [][4]int) {
+		rec := &pickRecorder{inner: s}
+		cfg := randomPickScenario(t, seed, rec)
+		var events []sim.Event
+		cfg.OnEvent = func(ev sim.Event) { events = append(events, ev) }
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+		}
+		return res, events, rec.log
+	}
+
+	f := func(seed uint64, pickV uint8) bool {
+		name := names[int(pickV)%len(names)]
+		cached := variants[name]()
+		flat := variants[name]()
+		flat.noCache = true
+		resC, evC, picksC := runOnce(seed, cached)
+		resF, evF, picksF := runOnce(seed, flat)
+		if !reflect.DeepEqual(picksC, picksF) {
+			t.Logf("seed %d %s: pick streams diverge (%d vs %d picks)",
+				seed, name, len(picksC), len(picksF))
+			for i := range picksC {
+				if i < len(picksF) && picksC[i] != picksF[i] {
+					t.Logf("  first divergence at decision %d: cached %v, flat %v",
+						i, picksC[i], picksF[i])
+					break
+				}
+			}
+			return false
+		}
+		if !reflect.DeepEqual(resC, resF) || !reflect.DeepEqual(evC, evF) {
+			t.Logf("seed %d %s: results or event streams diverge", seed, name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyCacheSurvivesRunnerReuse pins pooled-scheduler semantics: ONE
+// cached scheduler instance serving many runs back to back (different
+// platforms, different shapes) must keep matching a fresh flat scheduler
+// run for run. This is the reuse pattern volatile.Runner's scheduler pool
+// creates, and it exercises the cross-run invalidation story (globally
+// unique change epochs).
+func TestGreedyCacheSurvivesRunnerReuse(t *testing.T) {
+	cached := NewGreedy("emct", eq2Comm).(*greedySched)
+	runner := sim.NewRunner()
+	flatRunner := sim.NewRunner()
+	for seed := uint64(500); seed < 540; seed++ {
+		recC := &pickRecorder{inner: cached}
+		cfgC := randomPickScenario(t, seed, recC)
+		resC, err := runner.Run(cfgC)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		flat := NewGreedy("emct", eq2Comm).(*greedySched)
+		flat.noCache = true
+		recF := &pickRecorder{inner: flat}
+		cfgF := randomPickScenario(t, seed, recF)
+		resF, err := flatRunner.Run(cfgF)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(recC.log, recF.log) || !reflect.DeepEqual(resC, resF) {
+			t.Fatalf("seed %d: reused cached scheduler diverges from fresh flat scheduler", seed)
+		}
+	}
+}
+
+// TestGreedySlowCheckOracleHolds arms the full-rescore oracle over random
+// scenarios for every registered heuristic: each incremental decision is
+// re-derived from a fresh scan inside Pick, and every engine structure is
+// verified by the engine's own slow checks. Any rot in the invalidation
+// contract panics the run.
+func TestGreedySlowCheckOracleHolds(t *testing.T) {
+	names := append(Names(),
+		"mct+", "emct+", "lw+", "ud+", "remct", "deadline",
+		"passive-emct", "passive-mct", "proactive-emct", "proactive-mct")
+	runner := sim.NewRunner()
+	runner.EnableSlowChecks()
+	for i, name := range names {
+		for seed := uint64(0); seed < 12; seed++ {
+			sched, err := New(name, rng.New(seed+uint64(i)<<16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := randomPickScenario(t, seed*31+uint64(i), sched)
+			if _, err := runner.Run(cfg); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// mutatedRunPanics runs one slow-checked scenario with a deliberately broken
+// cache-invalidation source and reports whether the oracle caught it.
+func mutatedRunPanics(t *testing.T, seed uint64, s *greedySched) (caught bool) {
+	t.Helper()
+	defer func() {
+		if recover() != nil {
+			caught = true
+		}
+	}()
+	runner := sim.NewRunner()
+	runner.EnableSlowChecks()
+	cfg := randomPickScenario(t, seed, s)
+	if _, err := runner.Run(cfg); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return caught
+}
+
+// TestOracleCatchesSkippedInvalidation mutation-tests the full-rescore
+// oracle, mirroring the engine's fullcheck mutation tests: for each of the
+// three cache-invalidation sources (view change epoch, per-round NQ entry,
+// corrected-mode n_active), deliberately skipping it must make the oracle
+// panic on at least one of a fixed batch of random scenarios. If a mutation
+// is never caught, the oracle has a blind spot and the dirty-set contract
+// can rot silently.
+func TestOracleCatchesSkippedInvalidation(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*greedySched)
+		build  func() *greedySched
+	}{
+		{"skip-epoch-invalidation",
+			func(s *greedySched) { s.mutSkipEpoch = true },
+			func() *greedySched { return NewGreedy("emct", plainComm).(*greedySched) }},
+		{"skip-nq-invalidation",
+			func(s *greedySched) { s.mutSkipNQ = true },
+			func() *greedySched { return NewGreedy("mct", plainComm).(*greedySched) }},
+		{"skip-nactive-invalidation",
+			func(s *greedySched) { s.mutSkipNA = true },
+			func() *greedySched { return NewGreedy("mct", eq2Comm).(*greedySched) }},
+	}
+	const seeds = 60
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			caught := 0
+			for seed := uint64(0); seed < seeds; seed++ {
+				s := m.build()
+				m.mutate(s)
+				if mutatedRunPanics(t, seed, s) {
+					caught++
+				}
+			}
+			if caught == 0 {
+				t.Fatalf("oracle never caught %s over %d scenarios", m.name, seeds)
+			}
+			t.Logf("%s caught on %d/%d scenarios", m.name, caught, seeds)
+		})
+	}
+}

@@ -18,7 +18,11 @@ type passiveSched struct {
 	inner sim.Scheduler
 	// commit[task] is the processor committed to in the current iteration.
 	commit map[int]int
-	// iteration tracks commit-map validity (task ids reset each iteration).
+	// run/iteration track commit-map validity: task IDs reset each
+	// iteration, and a pooled/registry-shared instance may be handed a
+	// fresh run whose first iteration index equals the stale one, so the
+	// run stamp (View.Run, unique per engine run) is checked first.
+	run       int64
 	iteration int
 	started   bool
 }
@@ -31,10 +35,16 @@ func NewPassive(inner sim.Scheduler) sim.Scheduler {
 // Name implements sim.Scheduler.
 func (s *passiveSched) Name() string { return "passive-" + s.inner.Name() }
 
+// PoolSafe implements sim.Poolable: the commit map is dropped at every run
+// boundary (View.Run), so reuse is safe exactly when the inner heuristic's
+// reuse is.
+func (s *passiveSched) PoolSafe() bool { return sim.PoolSafe(s.inner) }
+
 // Pick implements sim.Scheduler.
 func (s *passiveSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
-	if !s.started || v.Iteration != s.iteration {
-		s.commit = make(map[int]int)
+	if !s.started || v.Run != s.run || v.Iteration != s.iteration {
+		clear(s.commit)
+		s.run = v.Run
 		s.iteration = v.Iteration
 		s.started = true
 	}
@@ -44,7 +54,18 @@ func (s *passiveSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti 
 	if q, ok := s.commit[ti.Task]; ok {
 		switch v.Procs[q].State {
 		case avail.Up:
-			return q
+			// Honor the commitment only if the engine actually offers the
+			// processor this call: an UP processor can still be ineligible
+			// (e.g. its pipeline is full during a replica-less engine
+			// variant, or an external driver restricts the slate), and
+			// returning it would be a protocol violation the engine rejects
+			// as a run error. Wait instead, like the RECLAIMED case.
+			for _, e := range eligible {
+				if e == q {
+					return q
+				}
+			}
+			return sim.Decline
 		case avail.Reclaimed:
 			// Wait for the committed processor to come back.
 			return sim.Decline

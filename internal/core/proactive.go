@@ -35,6 +35,12 @@ func NewProactive(inner sim.Scheduler, factor float64) sim.Scheduler {
 // Name implements sim.Scheduler.
 func (s *proactiveSched) Name() string { return "proactive-" + s.Scheduler.Name() }
 
+// PoolSafe implements sim.Poolable: the wrapper itself is stateless, so
+// reuse is safe exactly when the inner heuristic's reuse is. (Embedding
+// does not promote Poolable — it is not part of the Scheduler interface —
+// hence the explicit delegation.)
+func (s *proactiveSched) PoolSafe() bool { return sim.PoolSafe(s.Scheduler) }
+
 // Cancel implements sim.Canceller.
 func (s *proactiveSched) Cancel(v *sim.View) []int {
 	// Expected fresh-start completion on the best idle UP processor.

@@ -44,6 +44,15 @@ type randomSched struct {
 	// weights is Pick's scratch buffer, reused so the hot path stays
 	// allocation-free after warm-up.
 	weights []float64
+	// wCache[q] memoizes the final (clamped, speed-scaled) weight of
+	// worker q, keyed by its availability model pointer and speed — the
+	// only inputs any reliability weight reads, and both constant for a
+	// worker within a run. Models are immutable and interned, so a pointer
+	// match guarantees an identical weight; a new run's platform brings new
+	// pointers (or identical weights), either way preserving results.
+	wCache []float64
+	wKey   []*avail.Markov3
+	wSpeed []int
 }
 
 // NewRandom returns the uniform Random heuristic.
@@ -77,6 +86,11 @@ func NewWeightedRandom(idx int, bySpeed bool, r *rng.PCG) (sim.Scheduler, error)
 // Name implements sim.Scheduler.
 func (s *randomSched) Name() string { return s.name }
 
+// PoolSafe implements sim.Poolable: the only cross-run state is the RNG,
+// which the pooling layer reseeds per run exactly as a fresh construction
+// would (rng.PCG.Reseed / SplitInto).
+func (s *randomSched) PoolSafe() bool { return true }
+
 // Pick implements sim.Scheduler.
 func (s *randomSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti sim.TaskInfo) int {
 	if s.weight == nil {
@@ -85,16 +99,27 @@ func (s *randomSched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti s
 	if cap(s.weights) < len(eligible) {
 		s.weights = make([]float64, len(eligible))
 	}
+	if len(s.wCache) < len(v.Procs) {
+		s.wCache = make([]float64, len(v.Procs))
+		s.wKey = make([]*avail.Markov3, len(v.Procs))
+		s.wSpeed = make([]int, len(v.Procs))
+	}
 	weights := s.weights[:len(eligible)] // every entry is overwritten below
 	var total float64
 	for i, q := range eligible {
 		pv := &v.Procs[q]
-		w := s.weight(pv)
-		if w < 0 {
-			w = 0
-		}
-		if s.bySpeed {
-			w /= float64(pv.W)
+		w := s.wCache[q]
+		if s.wKey[q] != pv.Model || s.wSpeed[q] != pv.W {
+			w = s.weight(pv)
+			if w < 0 {
+				w = 0
+			}
+			if s.bySpeed {
+				w /= float64(pv.W)
+			}
+			s.wCache[q] = w
+			s.wKey[q] = pv.Model
+			s.wSpeed[q] = pv.W
 		}
 		weights[i] = w
 		total += w

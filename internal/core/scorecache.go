@@ -1,0 +1,89 @@
+package core
+
+// This file holds the incremental scoring state of the greedy family: a
+// per-worker score cache whose entries are re-used while their recorded
+// inputs compare equal to the current ones, so a Pick re-evaluates only
+// candidates whose inputs changed.
+//
+// A cached score for worker q is a pure function of three inputs:
+//
+//   - q's ProcView — tracked by the engine's per-worker change epoch
+//     (View.ProcEpochs[q]; see the contract on sim.View);
+//   - rs.NQ[q], the tasks piled on q this round (reset every round,
+//     bumped when q is picked);
+//   - for the contention-corrected modes, the communication slowdown
+//     factor ceil(n_active/n_com) — the score depends on n_active only
+//     through this factor, so invalidation is keyed on the factor and a
+//     pick that moves n_active within the same ceil bucket invalidates
+//     nothing.
+//
+// Staleness is impossible by construction (every input is compared on
+// every use), and the slow-check oracle (View.SlowChecks) re-derives every
+// decision from a fresh scan and panics on any divergence.
+//
+// The argmin itself is a linear pass over the eligible slate tracking the
+// minimum under scoreLess. An earlier revision kept a lazy min-heap to
+// make the argmin O(log P); profiling the Table 2 sweep showed the heap
+// bookkeeping cost ~10x the score evaluations it avoided on paper-scale
+// platforms (P = 20, scores are pure arithmetic on interned analytics), so
+// the heap was dropped. scoreLess is a strict total order, so a heap (or
+// bucket) argmin keyed on it can be reintroduced verbatim if platforms
+// grow by orders of magnitude.
+
+// scoreLess is the strict total order all argmin paths share: lower score
+// first, NaN after every non-NaN ("a NaN score can neither win nor shadow
+// a finite one"), ties broken by the lower worker ID. The first two
+// comparisons settle the overwhelmingly common case (distinct non-NaN
+// scores) and are correct in the presence of NaN: both are false when
+// either side is NaN, falling through to the explicit ordering.
+func scoreLess(s1 float64, id1 int, s2 float64, id2 int) bool {
+	if s1 < s2 {
+		return true
+	}
+	if s2 < s1 {
+		return false
+	}
+	// Equal scores, or at least one NaN (x != x exactly for NaN).
+	n1, n2 := s1 != s1, s2 != s2
+	if n1 != n2 {
+		return n2
+	}
+	return id1 < id2
+}
+
+// pickCache is the incremental state of one greedy scheduler instance. All
+// slices are indexed by worker ID and sized to the largest platform seen;
+// stale content from earlier runs is harmless because the engine's change
+// epochs are process-wide unique (an old stamp never equals a new one).
+type pickCache struct {
+	// score[q] plus the recorded inputs it was computed from.
+	score    []float64
+	scoredEp []int64
+	scoredNQ []int
+	// scoredFactor[q] is the communication factor used (corrected modes
+	// only; plain mode never reads it).
+	scoredFactor []int
+}
+
+// ensure sizes the per-worker slices for a platform of p processors.
+func (c *pickCache) ensure(p int) {
+	if len(c.score) >= p {
+		return
+	}
+	n := 2 * len(c.score)
+	if n < p {
+		n = p
+	}
+	score := make([]float64, n)
+	copy(score, c.score)
+	c.score = score
+	ep := make([]int64, n)
+	copy(ep, c.scoredEp)
+	c.scoredEp = ep
+	nq := make([]int, n)
+	copy(nq, c.scoredNQ)
+	c.scoredNQ = nq
+	fa := make([]int, n)
+	copy(fa, c.scoredFactor)
+	c.scoredFactor = fa
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/expect"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// These are the regression tests for the two Pick-path sentinel bugs: the
+// greedy scan used to start from best := eligible[0] with a +Inf sentinel
+// score, so (a) a slate whose genuine scores are all +Inf (e.g. LW when
+// every candidate has P+ = 0) tie-broke against an unscored default and
+// returned eligible[0] instead of the lowest ID, and (b) a NaN score on
+// eligible[0] could shadow real +Inf scores through the sentinel equality.
+// The fixed scan seeds best from a real first evaluation and orders with
+// scoreLess (NaN after everything, ties to the lowest ID).
+
+// deadModel is a valid Markov3 with P+ = 0: from UP the processor never
+// stays UP, and RECLAIMED can never return to UP, so LW scores every
+// workload +Inf on it.
+func deadModel() *avail.Markov3 {
+	return avail.MustMarkov3([3][3]float64{
+		{0, 0.5, 0.5},
+		{0, 0.5, 0.5},
+		{0.9, 0.05, 0.05},
+	})
+}
+
+func TestLWAllPPlusZeroPicksLowestID(t *testing.T) {
+	m := deadModel()
+	if got := expect.PPlus(m); got != 0 {
+		t.Fatalf("test model has P+ = %v, want 0", got)
+	}
+	prm := params(5, 2, 1)
+	v := &sim.View{Params: prm, Procs: make([]sim.ProcView, 3)}
+	for i := range v.Procs {
+		v.Procs[i] = sim.ProcView{ID: i, W: 2, State: avail.Up, Model: m}
+	}
+	v.FillAnalytics()
+	s := NewLW(false)
+	// Every score is +Inf; the pick must be the lowest ID regardless of the
+	// eligible slate's order. The old sentinel scan returned eligible[0].
+	if got := s.Pick(v, []int{2, 0, 1}, freshRound(3), sim.TaskInfo{}); got != 0 {
+		t.Fatalf("all-Inf slate picked %d, want lowest ID 0", got)
+	}
+	if got := s.Pick(v, []int{2, 1}, freshRound(3), sim.TaskInfo{}); got != 1 {
+		t.Fatalf("all-Inf slate picked %d, want lowest eligible ID 1", got)
+	}
+}
+
+// TestLWAllPPlusZeroPlatformRuns pins the fix end to end: a whole platform
+// of P+ = 0 processors still produces a deterministic lowest-ID assignment
+// stream under LW, identical between the incremental and the plain scan
+// paths (the heap must order all-+Inf slates by ID exactly like the scan).
+func TestLWAllPPlusZeroPlatformRuns(t *testing.T) {
+	m := deadModel()
+	const p = 4
+	pl := &platform.Platform{Processors: make([]*platform.Processor, p)}
+	for i := 0; i < p; i++ {
+		pl.Processors[i] = &platform.Processor{ID: i, W: 1, Avail: m}
+	}
+	prm := platform.Params{M: 3, Iterations: 1, Ncom: 2, Tprog: 1, Tdata: 1, MaxSlots: 500}
+	run := func(s *greedySched) ([][4]int, *sim.Result) {
+		r := rng.New(7)
+		procs := make([]avail.Process, p)
+		for i := 0; i < p; i++ {
+			procs[i] = m.NewProcess(r.Split(), avail.Up)
+		}
+		rec := &pickRecorder{inner: s}
+		res, err := sim.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.log, res
+	}
+	cached := NewLW(false).(*greedySched)
+	flat := NewLW(false).(*greedySched)
+	flat.noCache = true
+	picksC, resC := run(cached)
+	picksF, resF := run(flat)
+	if !reflect.DeepEqual(picksC, picksF) || !reflect.DeepEqual(resC, resF) {
+		t.Fatal("cached and plain paths diverge on an all-P+=0 platform")
+	}
+	// All processors start UP, so every slot-0 original pick sees the full
+	// slate of +Inf scores and must tie-break to worker 0.
+	for _, pk := range picksC {
+		if pk[0] == 0 && pk[2] == 0 && pk[3] != 0 {
+			t.Fatalf("slot-0 original pick went to %d, want lowest ID 0", pk[3])
+		}
+	}
+}
+
+// nanScore builds a greedy scheduler whose score function is controlled per
+// worker ID, for NaN-ordering regressions.
+func nanScore(scores map[int]float64) *greedySched {
+	return &greedySched{
+		name: "nan-test",
+		mode: plainComm,
+		score: func(pv *sim.ProcView, _ float64) float64 {
+			return scores[pv.ID]
+		},
+	}
+}
+
+func nanView(n int) *sim.View {
+	prm := params(5, 1, 1)
+	v := &sim.View{Params: prm, Procs: make([]sim.ProcView, n)}
+	for i := range v.Procs {
+		v.Procs[i] = sim.ProcView{ID: i, W: 1, State: avail.Up, Model: reliableModel()}
+	}
+	v.FillAnalytics()
+	return v
+}
+
+func TestNaNScoreCannotWinOrShadow(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	// (b) The shadow bug: NaN on eligible[0] plus genuine +Inf candidates.
+	// The old scan's +Inf sentinel tie-broke the real +Inf scores against
+	// the unscored NaN default and returned worker 0.
+	s := nanScore(map[int]float64{0: nan, 1: inf, 2: inf})
+	if got := s.Pick(nanView(3), []int{0, 2, 1}, freshRound(3), sim.TaskInfo{}); got != 1 {
+		t.Fatalf("NaN shadowed +Inf candidates: picked %d, want 1", got)
+	}
+
+	// NaN never beats a finite score, in any position.
+	s = nanScore(map[int]float64{0: nan, 1: 5})
+	if got := s.Pick(nanView(2), []int{0, 1}, freshRound(2), sim.TaskInfo{}); got != 1 {
+		t.Fatalf("NaN beat a finite score: picked %d, want 1", got)
+	}
+	s = nanScore(map[int]float64{0: 5, 1: nan})
+	if got := s.Pick(nanView(2), []int{1, 0}, freshRound(2), sim.TaskInfo{}); got != 0 {
+		t.Fatalf("NaN beat a finite score: picked %d, want 0", got)
+	}
+
+	// An all-NaN slate still picks deterministically: the lowest ID.
+	s = nanScore(map[int]float64{0: nan, 1: nan, 2: nan})
+	if got := s.Pick(nanView(3), []int{2, 1}, freshRound(3), sim.TaskInfo{}); got != 1 {
+		t.Fatalf("all-NaN slate picked %d, want lowest eligible ID 1", got)
+	}
+}
+
+func TestScoreLessTotalOrder(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		s1   float64
+		id1  int
+		s2   float64
+		id2  int
+		want bool
+	}{
+		{1, 5, 2, 0, true}, // lower score wins regardless of ID
+		{2, 0, 1, 5, false},
+		{1, 0, 1, 1, true}, // tie -> lower ID
+		{1, 1, 1, 0, false},
+		{inf, 1, inf, 2, true}, // Inf ties -> lower ID
+		{inf, 0, nan, 1, true}, // any non-NaN before NaN
+		{nan, 0, inf, 1, false},
+		{nan, 1, nan, 2, true}, // NaN ties -> lower ID
+		{nan, 2, nan, 1, false},
+	}
+	for i, c := range cases {
+		if got := scoreLess(c.s1, c.id1, c.s2, c.id2); got != c.want {
+			t.Fatalf("case %d: scoreLess(%v,%d, %v,%d) = %v, want %v",
+				i, c.s1, c.id1, c.s2, c.id2, got, c.want)
+		}
+	}
+	// Antisymmetry over a representative set of distinct elements.
+	elems := []struct {
+		s  float64
+		id int
+	}{{1, 0}, {1, 1}, {2, 0}, {inf, 0}, {inf, 1}, {nan, 0}, {nan, 1}}
+	for i, a := range elems {
+		for j, b := range elems {
+			if i == j {
+				continue
+			}
+			ab := scoreLess(a.s, a.id, b.s, b.id)
+			ba := scoreLess(b.s, b.id, a.s, a.id)
+			if ab == ba {
+				t.Fatalf("order not strict/total between (%v,%d) and (%v,%d)", a.s, a.id, b.s, b.id)
+			}
+		}
+	}
+}
+
+func TestDeadlineBetterNaNRules(t *testing.T) {
+	nan := math.NaN()
+	// A real probability always beats NaN; NaN never beats a real one —
+	// including p = 0, which the old -1.0 sentinel path also handled, but
+	// only by accident of seeding.
+	if !deadlineBetter(0.0, 9, nan, 3) {
+		t.Fatal("real probability failed to beat NaN incumbent")
+	}
+	if deadlineBetter(nan, 1, 0.0, 9) {
+		t.Fatal("NaN beat a real probability")
+	}
+	// NaN pairs tie-break on the smaller completion estimate.
+	if !deadlineBetter(nan, 2, nan, 5) || deadlineBetter(nan, 5, nan, 2) {
+		t.Fatal("NaN pair tie-break not by smaller ct")
+	}
+	// Finite semantics unchanged: higher p wins, window ties go to lower ct.
+	if !deadlineBetter(0.8, 9, 0.5, 3) || deadlineBetter(0.5, 3, 0.8, 9) {
+		t.Fatal("higher probability must win")
+	}
+	if !deadlineBetter(0.5, 3, 0.5, 9) || deadlineBetter(0.5, 9, 0.5, 3) {
+		t.Fatal("probability tie must go to smaller ct")
+	}
+}

@@ -2,10 +2,22 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/avail"
 	"repro/internal/expect"
 	"repro/internal/platform"
+)
+
+// runCounter and epochCounter feed View.Run and View.Epoch/ProcEpochs with
+// process-wide unique, strictly increasing stamps. Global (rather than
+// per-engine) counters make the stamps collision-free even when a scheduler
+// instance migrates between engines, so equality of stamps always means
+// "same revision". The values themselves never influence scheduling — they
+// are only ever compared for equality — so results stay deterministic.
+var (
+	runCounter   atomic.Int64
+	epochCounter atomic.Int64
 )
 
 // Config assembles everything one simulation run needs.
@@ -120,15 +132,35 @@ type engine struct {
 	chainHead int
 	chainNext []int
 	chainPrev []int
-	// eligStamp/eligEpoch validate scheduler picks in O(1): a worker is
-	// eligible for the current pick phase iff its stamp equals the epoch.
-	eligStamp []int
-	eligEpoch int
+	// eligStamp/eligEpoch validate replica-phase picks in O(1): a worker is
+	// eligible iff its stamp equals the epoch. Originals-phase picks are
+	// validated directly against the availability state (the originals
+	// slate is exactly the UP set), so that phase needs no stamping pass;
+	// replicaPick selects which rule notePick applies.
+	eligStamp   []int
+	eligEpoch   int
+	replicaPick bool
+	// nBusy counts the workers with begun work (computing or incoming),
+	// maintained at the pipeline mutation sites so the scheduling round
+	// reads its n_active base in O(1) instead of recounting all P workers.
+	nBusy int
+	// runID stamps View.Run; drawn from runCounter at reset.
+	runID int64
+	// mutateSkipDirty suppresses markDirty for worker mutateSkipDirty-1
+	// (mutation hook for the oracle tests; 0 — the zero value — disables
+	// the mutation). It survives reset, like slowChecks.
+	mutateSkipDirty int
 	// slowChecks arms the full-rebuild equivalence oracle (test-only): every
 	// incremental structure is verified against a from-scratch recount.
 	slowChecks bool
 	// checkView is the slow-check scratch view for buildViewFull.
 	checkView View
+	// prevProcs/prevEpochs retain the previous slot's snapshots for the
+	// change-tracking contract check (slow checks only): a ProcView may only
+	// differ from its previous value if its ProcEpochs entry moved.
+	prevProcs  []ProcView
+	prevEpochs []int64
+	prevValid  bool
 }
 
 // Runner owns a reusable engine. A Runner amortizes every engine allocation
@@ -141,6 +173,17 @@ type Runner struct {
 
 // NewRunner returns an empty Runner; its first Run sizes the buffers.
 func NewRunner() *Runner { return &Runner{} }
+
+// EnableSlowChecks arms the full-rebuild equivalence oracle on the runner's
+// engine: every buildView is verified against buildViewFull (including the
+// change-tracking contract on View.ProcEpochs), the originals loop against
+// a fresh scan of the task table, every replication pick against the
+// reference least-covered scan (see fullcheck.go), and — via View.SlowChecks
+// — every incremental scheduler decision against a from-scratch rescan.
+// Mismatches panic. The flag survives Runner reuse across runs. Intended
+// for tests and debugging: it makes every slot pay the full pre-incremental
+// cost again, several times over.
+func (r *Runner) EnableSlowChecks() { r.e.slowChecks = true }
 
 // Run executes one simulation and returns its result. The error reports
 // configuration problems or scheduler protocol violations; volatile-platform
@@ -222,9 +265,18 @@ func (e *engine) reset(cfg Config) {
 	if cap(e.rs.NQ) < p {
 		e.rs.NQ = make([]int, p)
 		e.view.Procs = make([]ProcView, p)
+		e.view.ProcEpochs = make([]int64, p)
 	}
 	e.rs.NQ = e.rs.NQ[:p]
-	e.view = View{Params: e.params, Procs: e.view.Procs[:p]}
+	for i := range e.rs.NQ {
+		e.rs.NQ[i] = 0 // rounds keep NQ all-zero between them (see schedule)
+	}
+	e.runID = runCounter.Add(1)
+	e.view = View{Params: e.params, Procs: e.view.Procs[:p],
+		ProcEpochs: e.view.ProcEpochs[:p], Run: e.runID}
+	e.prevValid = false
+	e.nBusy = 0
+	e.replicaPick = false
 
 	e.trk.reset(m, 1+cfg.Params.MaxReplicas)
 	if cap(e.procDirty) < p {
@@ -320,6 +372,9 @@ func (e *engine) advanceStates() {
 				e.stats.Crashes++
 				e.stats.WastedProgramSlots += int64(w.progRecv)
 				e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
+				if w.busy() {
+					e.nBusy--
+				}
 				e.dropBuf = w.crash(e.dropBuf[:0])
 				for _, c := range e.dropBuf {
 					e.taskLostCopy(c.task)
@@ -344,6 +399,9 @@ const noWorker = -1
 
 // markDirty queues worker i's ProcView for refresh at the next buildView.
 func (e *engine) markDirty(i int) {
+	if e.mutateSkipDirty == i+1 {
+		return // test-only mutation: deliberately miss this invalidation
+	}
 	if !e.procDirty[i] {
 		e.procDirty[i] = true
 		e.dirtyProcs = append(e.dirtyProcs, i)
@@ -400,16 +458,19 @@ func (e *engine) taskLostCopy(t int) {
 	}
 }
 
-// schedule runs one scheduler round (scheduleRound), then clears the round's
-// planned-copy overlay: plannedCopies entries are zeroed and any task the
-// round moved through the replication buckets is re-keyed to its live copy
-// count. Iterating e.plans touches exactly the tasks the round planned, so
-// the cleanup is O(plans), not O(m).
+// schedule runs one scheduler round (scheduleRound), then clears the
+// round's planned-copy overlay and its NQ entries: plannedCopies and the
+// round queues are zeroed, and any task the round moved through the
+// replication buckets is re-keyed to its live copy count. Iterating e.plans
+// touches exactly the tasks and workers the round planned (every notePick
+// is followed by a plan append), so the cleanup is O(plans), not O(m) or
+// O(P) — and rs.NQ is all-zero again when the next round starts.
 func (e *engine) schedule() error {
 	e.plans = e.plans[:0]
 	err := e.scheduleRound()
 	for i := range e.plans {
 		t := e.plans[i].task
+		e.rs.NQ[e.plans[i].worker] = 0
 		if e.plannedCopies[t] == 0 {
 			continue // already restored (task planned more than once)
 		}
@@ -441,6 +502,9 @@ func (e *engine) scheduleRound() error {
 						e.cfg.Scheduler.Name(), q)
 				}
 				w := &e.workers[q]
+				if w.busy() {
+					e.nBusy--
+				}
 				e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
 				for _, dropped := range e.dropBuf {
 					e.taskLostCopy(dropped.task)
@@ -461,26 +525,24 @@ func (e *engine) scheduleRound() error {
 		return nil
 	}
 
-	// One setup pass: collect the UP processors (eligible for originals,
-	// stamped for O(1) pick validation), zero the round queues, and count
-	// n_active — how many workers compete for the master's card
-	// (Section 6.3.1: "the average slowdown encountered by a worker when
-	// communicating with the master"): the processors already engaged in
-	// begun work, plus — via notePick — each processor newly put to work
-	// during this round.
+	// One setup pass: collect the UP processors (the originals slate; picks
+	// are validated against the availability state directly, so no
+	// stamping). The round queues are already zero — schedule restores them
+	// in O(plans) — and n_active's base is the incrementally maintained
+	// busy count (Section 6.3.1: the processors already engaged in begun
+	// work, plus — via notePick — each processor newly put to work during
+	// this round).
+	if e.slowChecks {
+		e.verifyRoundSetup()
+	}
 	up := e.eligible[:0]
 	rs := &e.rs
-	rs.NActive = 0
-	e.eligEpoch++
+	rs.NActive = e.nBusy
+	rs.Picks = 0
+	e.replicaPick = false
 	for i := range e.workers {
-		rs.NQ[i] = 0
-		w := &e.workers[i]
-		if w.state == avail.Up {
+		if e.workers[i].state == avail.Up {
 			up = append(up, i)
-			e.eligStamp[i] = e.eligEpoch
-		}
-		if w.busy() {
-			rs.NActive++
 		}
 	}
 	e.eligible = up
@@ -519,6 +581,7 @@ func (e *engine) scheduleRound() error {
 	}
 	idle := e.idle[:0]
 	e.eligEpoch++
+	e.replicaPick = true
 	for _, q := range up {
 		if !e.workers[q].busy() && rs.NQ[q] == 0 {
 			idle = append(idle, q)
@@ -573,11 +636,14 @@ func (e *engine) scheduleRound() error {
 	return nil
 }
 
-// notePick validates a scheduler pick against the current eligibility stamps
-// (O(1), equivalent to membership in the eligible slice handed to Pick) and
-// updates the round state.
+// notePick validates a scheduler pick in O(1) — equivalent to membership in
+// the eligible slice handed to Pick: the originals slate is exactly the UP
+// set (states are fixed within a slot), and the replica slate carries
+// eligibility stamps — and updates the round state.
 func (e *engine) notePick(rs *RoundState, pick int) error {
-	if pick < 0 || pick >= len(e.workers) || e.eligStamp[pick] != e.eligEpoch {
+	if pick < 0 || pick >= len(e.workers) ||
+		(e.replicaPick && e.eligStamp[pick] != e.eligEpoch) ||
+		(!e.replicaPick && e.workers[pick].state != avail.Up) {
 		return fmt.Errorf("sim: scheduler %q picked ineligible processor %d",
 			e.cfg.Scheduler.Name(), pick)
 	}
@@ -585,6 +651,7 @@ func (e *engine) notePick(rs *RoundState, pick int) error {
 		rs.NActive++
 	}
 	rs.NQ[pick]++
+	rs.Picks++
 	return nil
 }
 
@@ -592,12 +659,18 @@ func (e *engine) notePick(rs *RoundState, pick int) error {
 // the dirty set — those whose availability state, pipeline occupancy, or
 // progress changed since the last refresh — get their ProcView recomputed.
 // The remaining-task count is maintained by the completion/barrier sites.
+// Every call stamps a fresh (process-wide unique) View.Epoch; refreshed
+// workers get that stamp in ProcEpochs, which is the change-tracking
+// contract incremental scorers rely on.
 func (e *engine) buildView() {
 	e.view.Slot = e.slot
 	e.view.Iteration = e.iter
 	e.view.TasksRemaining = e.trk.remaining
+	e.view.Epoch = epochCounter.Add(1)
+	e.view.SlowChecks = e.slowChecks
 	for _, i := range e.dirtyProcs {
 		e.fillProcView(i, &e.view.Procs[i])
+		e.view.ProcEpochs[i] = e.view.Epoch
 		e.procDirty[i] = false
 	}
 	e.dirtyProcs = e.dirtyProcs[:0]
@@ -719,6 +792,9 @@ func (e *engine) allocateChannels() int {
 
 // bindCopy attaches a planned copy to a worker and updates bookkeeping.
 func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
+	if w.computing == nil { // incoming is nil (caller-checked): idle -> busy
+		e.nBusy++
+	}
 	replica := pl.replica
 	if replica != 0 {
 		e.nextReplica[pl.task]++
@@ -778,6 +854,9 @@ func (e *engine) finishSlot() {
 			continue
 		}
 		w.computing = nil
+		if w.incoming == nil {
+			e.nBusy--
+		}
 		e.markDirty(i)
 		ts := &e.tasks[c.task]
 		ts.copies--
@@ -802,7 +881,11 @@ func (e *engine) finishSlot() {
 				continue
 			}
 			other := &e.workers[j]
+			wasBusy := other.busy()
 			e.dropBuf = other.dropCopiesOf(c.task, e.dropBuf[:0])
+			if wasBusy && !other.busy() {
+				e.nBusy--
+			}
 			for _, dropped := range e.dropBuf {
 				ts.copies--
 				e.markDirty(j)
@@ -852,6 +935,7 @@ func (e *engine) finishSlot() {
 		if len(e.dropBuf) == 0 {
 			continue
 		}
+		e.nBusy-- // held at least one copy, now holds none
 		for _, dropped := range e.dropBuf {
 			e.markDirty(i)
 			e.wasteCopy(dropped)

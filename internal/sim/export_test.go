@@ -1,8 +1,8 @@
 package sim
 
-// EnableSlowChecks arms the full-rebuild equivalence oracle on the runner's
-// engine: every buildView is verified against buildViewFull, the originals
-// loop against a fresh scan of the task table, and every replication pick
-// against the reference least-covered scan (see fullcheck.go). Mismatches
-// panic. The flag survives Runner reuse across runs. Test-only.
-func (r *Runner) EnableSlowChecks() { r.e.slowChecks = true }
+// MutateSkipDirty suppresses the engine's markDirty for the given worker —
+// a deliberately broken invalidation site, used to prove the slow-check
+// oracle actually detects missed dirty marks (stale views / stale
+// ProcEpochs). The mutation survives Runner reuse; pass -1 to restore
+// correct behavior. Test-only.
+func (r *Runner) MutateSkipDirty(worker int) { r.e.mutateSkipDirty = worker + 1 }

@@ -33,7 +33,10 @@ func (e *engine) buildViewFull(dst *View) {
 	}
 }
 
-// verifyView checks the incrementally maintained view against buildViewFull.
+// verifyView checks the incrementally maintained view against buildViewFull,
+// and the change-tracking contract against the previous revision: a
+// processor snapshot may only differ from its previous value if its
+// ProcEpochs stamp moved (schedulers cache scores on exactly this promise).
 func (e *engine) verifyView() {
 	e.buildViewFull(&e.checkView)
 	if e.view.TasksRemaining != e.checkView.TasksRemaining {
@@ -46,6 +49,23 @@ func (e *engine) verifyView() {
 				e.slot, i, e.view.Procs[i], e.checkView.Procs[i]))
 		}
 	}
+	if cap(e.prevProcs) < len(e.view.Procs) {
+		e.prevProcs = make([]ProcView, len(e.view.Procs))
+		e.prevEpochs = make([]int64, len(e.view.Procs))
+	}
+	e.prevProcs = e.prevProcs[:len(e.view.Procs)]
+	e.prevEpochs = e.prevEpochs[:len(e.view.Procs)]
+	if e.prevValid {
+		for i := range e.view.Procs {
+			if e.view.ProcEpochs[i] == e.prevEpochs[i] && e.view.Procs[i] != e.prevProcs[i] {
+				panic(fmt.Sprintf("sim: slot %d: processor %d changed without an epoch bump: %+v -> %+v (epoch %d)",
+					e.slot, i, e.prevProcs[i], e.view.Procs[i], e.view.ProcEpochs[i]))
+			}
+		}
+	}
+	copy(e.prevProcs, e.view.Procs)
+	copy(e.prevEpochs, e.view.ProcEpochs)
+	e.prevValid = true
 }
 
 // verifyPending checks that the pending-originals list holds exactly the
@@ -108,6 +128,29 @@ func (e *engine) verifyPipelines() {
 		if w.computing == nil && w.incoming != nil && w.incoming.dataDone {
 			panic(fmt.Sprintf("sim: slot %d: worker %d holds a promotable prefetch the promotion pass missed",
 				e.slot, i))
+		}
+	}
+}
+
+// verifyRoundSetup checks the two O(1)/O(plans) round-start invariants
+// against their reference recounts: the incrementally maintained busy count
+// (n_active's base) and the all-zero NQ queues schedule restores in
+// O(plans) instead of a per-round O(P) wipe.
+func (e *engine) verifyRoundSetup() {
+	busy := 0
+	for i := range e.workers {
+		if e.workers[i].busy() {
+			busy++
+		}
+	}
+	if busy != e.nBusy {
+		panic(fmt.Sprintf("sim: slot %d: incremental busy count %d, full recount %d",
+			e.slot, e.nBusy, busy))
+	}
+	for i := range e.rs.NQ {
+		if e.rs.NQ[i] != 0 {
+			panic(fmt.Sprintf("sim: slot %d: NQ[%d] = %d at round start, want 0 (stale round queue)",
+				e.slot, i, e.rs.NQ[i]))
 		}
 	}
 }

@@ -77,6 +77,32 @@ type View struct {
 	// TasksRemaining is the number of tasks of the current iteration not yet
 	// completed.
 	TasksRemaining int
+
+	// Run identifies the simulation run this view belongs to. Engine-built
+	// views carry a process-wide unique, strictly increasing run ID, so a
+	// scheduler instance reused across runs (pooling) can detect the
+	// boundary and drop cross-run state (commitments, caches). Hand-built
+	// views leave it 0.
+	Run int64
+	// Epoch identifies this view revision. The engine draws epochs from a
+	// process-wide strictly increasing counter and bumps the view's Epoch on
+	// every refresh (at least once per scheduling round), so no two distinct
+	// view revisions — across rounds, runs, or engines — ever share an
+	// Epoch. 0 means change tracking is absent (hand-built views);
+	// schedulers must then score from scratch every Pick.
+	Epoch int64
+	// ProcEpochs[q], when non-nil, is the Epoch at which processor q's
+	// snapshot was last refreshed. The engine's contract: between two views
+	// with ProcEpochs[q] equal, Procs[q] is unchanged. (The converse is not
+	// promised: a refresh may rewrite identical values.) Schedulers use this
+	// to re-score only candidates whose inputs changed; the slow-check
+	// oracle (Runner.EnableSlowChecks) verifies the contract every slot.
+	ProcEpochs []int64
+	// SlowChecks is set when the run's full-rebuild oracle is armed
+	// (Runner.EnableSlowChecks). Schedulers keeping incremental state should
+	// then cross-check every cached decision against a from-scratch
+	// evaluation and panic on divergence.
+	SlowChecks bool
 }
 
 // FillAnalytics interns the per-model analytics of every processor that has
@@ -104,6 +130,14 @@ type RoundState struct {
 	// those already engaged in begun work at the start of the round, plus
 	// each processor newly put to work by an assignment of this round.
 	NActive int
+	// Picks counts the assignments recorded this round — every accepted
+	// pick, including ones a wrapper committed without consulting an inner
+	// heuristic — so it equals the number of NQ increments since the round
+	// started. The greedy score cache revalidates per worker (NQ entries
+	// are compared directly on every use) and does not need it; it exists
+	// for schedulers that track cross-call deltas instead, and the
+	// change-tracking contract test pins it.
+	Picks int
 }
 
 // TaskInfo describes the task for which the scheduler must pick a processor.
@@ -134,6 +168,23 @@ type Scheduler interface {
 	// slot, originals first, then replicas; rs reflects all picks already
 	// made this round.
 	Pick(v *View, eligible []int, rs *RoundState, ti TaskInfo) int
+}
+
+// Poolable is the optional interface of schedulers whose instances may be
+// reused across simulation runs: they either keep no cross-run state, or
+// detect run boundaries (View.Run, the globally unique View.Epoch /
+// View.ProcEpochs stamps) and invalidate accordingly. Run pools only reuse
+// schedulers that report PoolSafe() == true; wrappers should delegate to
+// their inner heuristic.
+type Poolable interface {
+	// PoolSafe reports whether this instance may serve multiple runs.
+	PoolSafe() bool
+}
+
+// PoolSafe reports whether s has opted into cross-run reuse.
+func PoolSafe(s Scheduler) bool {
+	p, ok := s.(Poolable)
+	return ok && p.PoolSafe()
 }
 
 // Canceller is the optional interface of the paper's "proactive" heuristic

@@ -172,7 +172,16 @@ func fitTraceModels(scn *Scenario, vectors []avail.Vector) (*traceModels, error)
 // the replay processes come from its pool; results are identical either way.
 func (s *Scenario) runTrace(r *Runner, tm *traceModels, heuristic string, trialSeed uint64,
 	onEvent func(Event)) (*RunResult, error) {
-	sched, err := core.New(heuristic, rng.New(trialSeed))
+	var sched sim.Scheduler
+	var err error
+	if r != nil {
+		// Pooled scheduler: Reseed mirrors the fresh rng.New construction.
+		ps := r.pooled(heuristic)
+		ps.pcg.Reseed(trialSeed)
+		sched, err = ps.instance(heuristic)
+	} else {
+		sched, err = core.New(heuristic, rng.New(trialSeed))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -200,6 +200,53 @@ type Runner struct {
 	// vprocs/vps pool the replay processes of trace-driven runs.
 	vprocs []avail.VectorProcess
 	vps    []avail.Process
+	// scheds pools one scheduler per heuristic name. Schedulers that opt
+	// into cross-run reuse (sim.PoolSafe: the whole core registry) are
+	// constructed once and reused, which amortizes their internal state —
+	// notably the greedy family's incremental score caches — across every
+	// run this Runner executes; their RNG is reseeded per run exactly as a
+	// fresh construction would seed it, so results are bit-identical.
+	// Schedulers that do not opt in are rebuilt per run, as before.
+	scheds map[string]*pooledSched
+}
+
+// pooledSched is one slot of the Runner's scheduler pool. pcg is the
+// scheduler's stream for the current run: it is owned by the pool so it can
+// be reseeded in place (the scheduler holds a pointer to it).
+type pooledSched struct {
+	pcg   rng.PCG
+	sched sim.Scheduler // non-nil once a pool-safe instance exists
+}
+
+// pooled returns (creating if needed) the pool slot for name.
+func (r *Runner) pooled(name string) *pooledSched {
+	if r.scheds == nil {
+		r.scheds = make(map[string]*pooledSched)
+	}
+	ps := r.scheds[name]
+	if ps == nil {
+		ps = &pooledSched{}
+		r.scheds[name] = ps
+	}
+	return ps
+}
+
+// instance returns the slot's scheduler, constructing one on first use and
+// retaining it only when it declares cross-run reuse safe. The caller must
+// seed ps.pcg for the run before the scheduler's first Pick (construction
+// itself never draws).
+func (ps *pooledSched) instance(name string) (sim.Scheduler, error) {
+	if ps.sched != nil {
+		return ps.sched, nil
+	}
+	s, err := core.New(name, &ps.pcg)
+	if err != nil {
+		return nil, err
+	}
+	if sim.PoolSafe(s) {
+		ps.sched = s
+	}
+	return s, nil
 }
 
 // NewRunner returns a reusable Runner; its first run sizes the buffers.
@@ -231,15 +278,22 @@ func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
 	// identical trajectories for the same trial seed.
 	var trialRng *rng.PCG
 	var procs []avail.Process
+	var sched sim.Scheduler
+	var err error
 	if r != nil {
 		r.trialRng.Reseed(trialSeed)
 		trialRng = &r.trialRng
 		procs = r.trials.Trial(s.inner, trialRng)
+		// Pooled scheduler: SplitInto consumes trialRng exactly as Split
+		// does, and reseeds the pooled instance's stream in place.
+		ps := r.pooled(heuristic)
+		trialRng.SplitInto(&ps.pcg)
+		sched, err = ps.instance(heuristic)
 	} else {
 		trialRng = rng.New(trialSeed)
 		procs = s.inner.Trial(trialRng)
+		sched, err = core.New(heuristic, trialRng.Split())
 	}
-	sched, err := core.New(heuristic, trialRng.Split())
 	if err != nil {
 		return nil, err
 	}
