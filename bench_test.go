@@ -48,21 +48,29 @@ func dfb(rows []TableRow, name string) float64 {
 	return v
 }
 
-func BenchmarkTable2(b *testing.B) {
+func benchTable2(b *testing.B, mode Mode) {
 	for i := 0; i < b.N; i++ {
 		cfg := Table2Config(benchScenarios, benchTrials, 42)
+		cfg.Mode = mode
 		res, err := RunSweep(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			logRows(b, fmt.Sprintf("Table 2 (reduced: %d instances)", res.Instances), res.Overall)
+			logRows(b, fmt.Sprintf("Table 2 (%s mode, reduced: %d instances)", mode, res.Instances), res.Overall)
 			b.ReportMetric(dfb(res.Overall, "emct"), "emct_dfb")
 			b.ReportMetric(dfb(res.Overall, "mct"), "mct_dfb")
 			b.ReportMetric(dfb(res.Overall, "random"), "random_dfb")
 		}
 	}
 }
+
+func BenchmarkTable2(b *testing.B) { benchTable2(b, ModeSlot) }
+
+// BenchmarkTable2Event regenerates the same grid on the event-driven time
+// base; CI's bench-smoke records both entries side by side in
+// BENCH_table2.json so the two engines' costs stay visible together.
+func BenchmarkTable2Event(b *testing.B) { benchTable2(b, ModeEvent) }
 
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {

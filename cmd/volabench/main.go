@@ -17,6 +17,10 @@
 //
 // -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
 // 10 trials per cell for Table 2 / Figure 2 and 100 × 10 for Table 3.
+//
+// -mode selects the engine time base: slot (per-slot stepping, the default)
+// or event (sojourn-sampled availability with quiet-slot skipping — same
+// statistics, faster on quiet platforms).
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 func main() {
 	var (
 		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs")
+		mode       = flag.String("mode", "slot", "engine time base: slot|event (event advances to the next availability transition and skips quiet slots)")
 		scenarios  = flag.Int("scenarios", 6, "scenarios per grid cell")
 		trials     = flag.Int("trials", 4, "trials per scenario")
 		seed       = flag.Uint64("seed", 42, "sweep seed")
@@ -60,10 +65,12 @@ func main() {
 
 	// Validate everything before any profile starts, so a typo exits
 	// cleanly instead of leaving a truncated profile file behind.
-	if err := validateArgs(*exp, *scenarios, *trials, *workers); err != nil {
+	if err := validateArgs(*exp, *mode, *scenarios, *trials, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(2)
 	}
+	simMode, err := volatile.ParseMode(*mode)
+	fatalIf(err)
 
 	// Profiles cover the experiment itself (not flag parsing or the grid
 	// printer). On error exits the CPU profile is not flushed; profile
@@ -92,7 +99,7 @@ func main() {
 	switch *exp {
 	case "table2":
 		cfg := volatile.Table2Config(*scenarios, *trials, *seed)
-		cfg.Workers, cfg.Progress = *workers, progress
+		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		res := mustSweep(cfg)
 		fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
 			res.Instances, res.Censored, time.Since(start).Round(time.Second))
@@ -100,7 +107,7 @@ func main() {
 
 	case "figure2":
 		cfg := volatile.Figure2Config(*scenarios, *trials, *seed)
-		cfg.Workers, cfg.Progress = *workers, progress
+		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		res := mustSweep(cfg)
 		fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
 			res.Instances, time.Since(start).Round(time.Second))
@@ -112,7 +119,7 @@ func main() {
 			scale = 10
 		}
 		cfg := volatile.Table3Config(scale, *scenarios, *trials, *seed)
-		cfg.Workers, cfg.Progress = *workers, progress
+		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		res := mustSweep(cfg)
 		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
 			scale, res.Instances, time.Since(start).Round(time.Second))
@@ -130,6 +137,7 @@ func main() {
 			Trials:     *trials,
 			TraceLen:   *traceLen,
 			Style:      style,
+			Mode:       simMode,
 			Seed:       *seed,
 			Workers:    *workers,
 			Progress:   progress,
@@ -153,6 +161,7 @@ func main() {
 			Cells:     volatile.PaperGrid(),
 			Scenarios: *scenarios,
 			Trials:    *trials,
+			Mode:      simMode,
 			Seed:      *seed,
 			Workers:   *workers,
 			Progress:  progress,
@@ -168,13 +177,13 @@ func main() {
 		printCompareCells(res)
 
 	case "ablation":
-		runAblation(*scenarios, *trials, *seed, *workers, progress)
+		runAblation(simMode, *scenarios, *trials, *seed, *workers, progress)
 
 	case "emctgain":
-		runEMCTGain(*scenarios, *trials, *seed, false)
+		runEMCTGain(simMode, *scenarios, *trials, *seed, false)
 
 	case "emctgain-norepl":
-		runEMCTGain(*scenarios, *trials, *seed, true)
+		runEMCTGain(simMode, *scenarios, *trials, *seed, true)
 
 	default:
 		fmt.Fprintf(os.Stderr, "volabench: unknown experiment %q\n", *exp)
@@ -273,7 +282,7 @@ func printFigure2(res *volatile.SweepResult, heuristics []string, csvPath string
 // runAblation quantifies two design choices the paper calls out: task
 // replication (Section 6.1) and the contention-correcting factor
 // (Section 6.3.1), by re-running a mid-grid cell with each toggled.
-func runAblation(scenarios, trials int, seed uint64, workers int, progress func(int, int)) {
+func runAblation(mode volatile.Mode, scenarios, trials int, seed uint64, workers int, progress func(int, int)) {
 	cell := volatile.Cell{Tasks: 5, Ncom: 5, Wmin: 5} // few tasks: replication matters
 	fmt.Println("Ablation A — replication on/off (n=5, ncom=5, wmin=5, emct)")
 	for _, repl := range []bool{true, false} {
@@ -283,7 +292,7 @@ func runAblation(scenarios, trials int, seed uint64, workers int, progress func(
 		}
 		res := mustSweep(volatile.SweepConfig{
 			Cells: []volatile.Cell{cell}, Heuristics: []string{"emct", "mct"},
-			Scenarios: scenarios * 4, Trials: trials, Seed: seed,
+			Scenarios: scenarios * 4, Trials: trials, Seed: seed, Mode: mode,
 			Options: opt, Workers: workers, Progress: progress,
 		})
 		mean := meanMakespanProxy(res)
@@ -297,7 +306,7 @@ func runAblation(scenarios, trials int, seed uint64, workers int, progress func(
 	res := mustSweep(volatile.SweepConfig{
 		Cells:      []volatile.Cell{volatile.ContentionCell()},
 		Heuristics: []string{"emct", "emct*", "mct", "mct*", "ud", "ud*", "lw", "lw*"},
-		Scenarios:  scenarios * 4, Trials: trials, Seed: seed,
+		Scenarios:  scenarios * 4, Trials: trials, Seed: seed, Mode: mode,
 		Options: volatile.ScenarioOptions{CommScale: 10},
 		Workers: workers, Progress: progress,
 	})
@@ -308,7 +317,7 @@ func runAblation(scenarios, trials int, seed uint64, workers int, progress func(
 // smaller than MCT's": it runs both heuristics on identical instances across
 // the grid, reports the mean makespan ratio, and tests significance with the
 // Wilcoxon signed-rank test.
-func runEMCTGain(scenarios, trials int, seed uint64, noReplication bool) {
+func runEMCTGain(mode volatile.Mode, scenarios, trials int, seed uint64, noReplication bool) {
 	var emct, mct []float64
 	cells := volatile.PaperGrid()
 	opt := volatile.ScenarioOptions{}
@@ -319,9 +328,9 @@ func runEMCTGain(scenarios, trials int, seed uint64, noReplication bool) {
 		for s := 0; s < scenarios; s++ {
 			scn := volatile.NewScenario(seed+uint64(ci*1000+s), cell, opt)
 			for tr := 0; tr < trials; tr++ {
-				a, err := scn.Run("emct", uint64(tr))
+				a, err := scn.RunMode("emct", uint64(tr), mode)
 				fatalIf(err)
-				b, err := scn.Run("mct", uint64(tr))
+				b, err := scn.RunMode("mct", uint64(tr), mode)
 				fatalIf(err)
 				if a.Completed && b.Completed {
 					emct = append(emct, float64(a.Makespan))

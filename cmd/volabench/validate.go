@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"strings"
+
+	volatile "repro"
 )
 
 // experiments lists every -exp value main dispatches on, in the order the
@@ -18,7 +20,8 @@ var experiments = []string{
 // divide-by-zero summary), a negative -workers would be passed to the
 // pipeline as a nonsense concurrency, and an unknown -exp should name the
 // valid experiments instead of leaving the user to read the source.
-func validateArgs(exp string, scenarios, trials, workers int) error {
+// An unknown -mode is rejected the same way, naming the valid time bases.
+func validateArgs(exp, mode string, scenarios, trials, workers int) error {
 	if scenarios <= 0 {
 		return fmt.Errorf("-scenarios must be positive (got %d)", scenarios)
 	}
@@ -27,6 +30,9 @@ func validateArgs(exp string, scenarios, trials, workers int) error {
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, where 0 means all cores (got %d)", workers)
+	}
+	if _, err := volatile.ParseMode(mode); err != nil {
+		return fmt.Errorf("unknown mode %q (valid: %s)", mode, strings.Join(volatile.ModeNames(), ", "))
 	}
 	for _, e := range experiments {
 		if exp == e {

@@ -62,6 +62,10 @@ type CompareConfig struct {
 	// Options tunes scenario generation (CommScale etc.). MaxReplicas only
 	// affects the fractional side; batch jobs are never replicated.
 	Options ScenarioOptions
+	// Mode selects the engine time base for the fractional side (default
+	// ModeSlot). The batch side always runs its own slot-exact simulator;
+	// Mode does not affect it.
+	Mode Mode
 	// Seed makes the whole sweep reproducible.
 	Seed uint64
 	// Workers bounds parallelism (default: GOMAXPROCS).
@@ -128,6 +132,7 @@ func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error
 		progress:  cfg.Progress,
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
+			rn.SetMode(cfg.Mode)
 			brn := batch.NewRunner()
 			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
 				trialSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx))

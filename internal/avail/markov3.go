@@ -2,6 +2,7 @@ package avail
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/markov"
@@ -15,6 +16,12 @@ import (
 type Markov3 struct {
 	chain *markov.Chain
 	pi    [3]float64
+	// p mirrors the validated matrix for direct indexing; invLogStay[s] is
+	// 1/ln(P(s,s)) (0 for absorbing or zero-stay states), precomputed so the
+	// closed-form geometric sojourn draw of NextTransition costs a single
+	// log per transition.
+	p          [3][3]float64
+	invLogStay [3]float64
 	// memo interns derived per-model quantities (internal/expect.Analytics).
 	// The model is immutable after construction, so the derived values are
 	// too; keeping the slot opaque here preserves the expect -> avail
@@ -52,8 +59,13 @@ func NewMarkov3(p [3][3]float64) (*Markov3, error) {
 	if err != nil {
 		return nil, fmt.Errorf("avail: %w", err)
 	}
-	m := &Markov3{chain: c}
+	m := &Markov3{chain: c, p: p}
 	copy(m.pi[:], pi)
+	for s := 0; s < 3; s++ {
+		if stay := p[s][s]; stay > 0 && stay < 1 {
+			m.invLogStay[s] = 1 / math.Log(stay)
+		}
+	}
 	return m, nil
 }
 
@@ -87,7 +99,7 @@ func RandomMarkov3(r *rng.PCG) *Markov3 {
 }
 
 // P returns the one-step transition probability from state i to state j.
-func (m *Markov3) P(i, j State) float64 { return m.chain.P(int(i), int(j)) }
+func (m *Markov3) P(i, j State) float64 { return m.p[i][j] }
 
 // Stationary returns the limit distribution (piU, piR, piD).
 func (m *Markov3) Stationary() (piU, piR, piD float64) {
@@ -136,7 +148,10 @@ type Markov3Process struct {
 	model   *Markov3
 	state   State
 	started bool
-	r       *rng.PCG
+	// at is the absolute slot of the next transition; maintained only when
+	// the process is driven through NextTransition (see Trajectory).
+	at int
+	r  *rng.PCG
 }
 
 // Reset re-points the process at model, driven by r from the given initial

@@ -2,6 +2,7 @@ package avail
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -78,27 +79,38 @@ func LogNormalSojourn(mu, sigma float64) SojournSampler {
 
 // GeometricSojourn returns a sampler with P(T = k) = stay^(k-1) * (1-stay):
 // with this choice the semi-Markov process is an ordinary Markov chain,
-// which tests exploit as a consistency check.
+// which tests exploit as a consistency check. The draw is a single
+// closed-form inversion, so stay arbitrarily close to 1 costs one uniform
+// (no rejection loop); stay = 0 always returns 1.
 func GeometricSojourn(stay float64) SojournSampler {
 	if stay < 0 || stay >= 1 {
 		panic("avail: GeometricSojourn needs stay in [0,1)")
 	}
+	if stay == 0 {
+		// Degenerate chain: every sojourn is exactly one slot, no RNG draw
+		// (matching geometricSojournSlots' stay <= 0 path).
+		return func(*rng.PCG) int { return 1 }
+	}
+	invLogStay := 1 / math.Log(stay)
 	return func(r *rng.PCG) int {
-		n := 1
-		for r.Float64() < stay {
-			n++
-		}
-		return n
+		return geometricSojournSlotsInv(r, invLogStay)
 	}
 }
 
+// ceilAtLeast1 rounds a sampled duration up to whole slots with a floor of
+// one slot. NaN and sub-slot draws (tiny Weibull scales) map to 1;
+// overflowing draws clamp to maxSojourn so the float-to-int conversion
+// stays defined.
 func ceilAtLeast1(x float64) int {
+	if !(x > 1) { // NaN or x <= 1
+		return 1
+	}
+	if x >= maxSojourn {
+		return maxSojourn
+	}
 	n := int(x)
 	if float64(n) < x {
 		n++
-	}
-	if n < 1 {
-		n = 1
 	}
 	return n
 }
@@ -118,7 +130,11 @@ type SemiMarkovProcess struct {
 	model     *SemiMarkov
 	state     State
 	remaining int // slots left in the current sojourn, including none consumed
-	r         *rng.PCG
+	// trajStarted/trajAt track the run-level position; maintained only when
+	// the process is driven through NextTransition (see Trajectory).
+	trajStarted bool
+	trajAt      int
+	r           *rng.PCG
 }
 
 // Next implements Process.

@@ -1,0 +1,303 @@
+// Tests for the sojourn-trajectory view (Trajectory / NextTransition) and
+// the SojournSampler edge cases. This file lives in package avail_test so
+// it can pin sampler moments against internal/expect's analytics, which
+// imports avail.
+package avail_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/avail"
+	"repro/internal/expect"
+	"repro/internal/rng"
+)
+
+// recordTrajectory reconstructs the first n per-slot states of a trajectory
+// from its (state, atSlot) runs, asserting the Trajectory contract on the
+// way: first transition at slot 0, strictly increasing transition slots,
+// and distinct states across consecutive runs.
+func recordTrajectory(t *testing.T, tr avail.Trajectory, n int) avail.Vector {
+	t.Helper()
+	cur, at := tr.NextTransition()
+	if at != 0 {
+		t.Fatalf("first transition at slot %d, want 0", at)
+	}
+	v := make(avail.Vector, 0, n)
+	for len(v) < n {
+		ns, nat := tr.NextTransition()
+		if nat == avail.Forever {
+			if ns != cur {
+				t.Fatalf("Forever reported with state %v, current run is %v", ns, cur)
+			}
+			for len(v) < n {
+				v = append(v, cur)
+			}
+			return v
+		}
+		if nat <= at {
+			t.Fatalf("transition slots not strictly increasing: %d after %d", nat, at)
+		}
+		if ns == cur {
+			t.Fatalf("slot %d: consecutive runs share state %v", nat, ns)
+		}
+		for len(v) < nat && len(v) < n {
+			v = append(v, cur)
+		}
+		cur, at = ns, nat
+	}
+	return v
+}
+
+// TestVectorTrajectoryRoundTrip drives random vectors through the RLE
+// trajectory view and requires the reconstructed per-slot states to equal
+// the original vector, with the past-the-end tail holding the final state
+// forever — exactly Next's dead-stays-dead semantics.
+func TestVectorTrajectoryRoundTrip(t *testing.T) {
+	f := func(seed uint64, length uint8) bool {
+		n := 1 + int(length)
+		r := rng.New(seed)
+		v := make(avail.Vector, n)
+		for i := range v {
+			v[i] = avail.State(r.Intn(3))
+		}
+		got := recordTrajectory(t, avail.NewVectorProcess(v), n+50)
+		for i := 0; i < n; i++ {
+			if got[i] != v[i] {
+				t.Logf("slot %d: got %v want %v", i, got[i], v[i])
+				return false
+			}
+		}
+		for i := n; i < n+50; i++ {
+			if got[i] != v[n-1] {
+				t.Logf("tail slot %d: got %v want held %v", i, got[i], v[n-1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorTrajectoryForeverIsStable pins that once a vector trajectory
+// reports Forever, every later call repeats the same answer.
+func TestVectorTrajectoryForeverIsStable(t *testing.T) {
+	v, err := avail.ParseVector("uurdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := avail.NewVectorProcess(v)
+	for {
+		s, at := p.NextTransition()
+		if at == avail.Forever {
+			if s != avail.Down {
+				t.Fatalf("Forever state %v, want d", s)
+			}
+			break
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if s, at := p.NextTransition(); s != avail.Down || at != avail.Forever {
+			t.Fatalf("post-Forever call %d: (%v, %d)", i, s, at)
+		}
+	}
+}
+
+// TestSemiMarkovTrajectoryMatchesNext pins the semi-Markov trajectory view
+// bit for bit against per-slot stepping: the two views consume the RNG in
+// the same order (the constructor's initial sojourn, then alternating jump
+// and sojourn draws), so two identically seeded processes must produce the
+// exact same state sequence whichever way they are driven.
+func TestSemiMarkovTrajectoryMatchesNext(t *testing.T) {
+	jump := [3][3]float64{
+		{0, 0.7, 0.3},
+		{0.6, 0, 0.4},
+		{0.5, 0.5, 0},
+	}
+	samplers := [3]avail.SojournSampler{
+		avail.GeometricSojourn(0.6),
+		func(*rng.PCG) int { return 3 },
+		avail.WeibullSojourn(0.6, 5.0),
+	}
+	m, err := avail.NewSemiMarkov(jump, samplers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		slotwise := avail.Record(m.NewProcess(rng.New(seed), avail.Up), 5000)
+		runwise := recordTrajectory(t, m.NewProcess(rng.New(seed), avail.Up), 5000)
+		for i := range slotwise {
+			if slotwise[i] != runwise[i] {
+				t.Fatalf("seed %d slot %d: Next %v, NextTransition %v", seed, i, slotwise[i], runwise[i])
+			}
+		}
+	}
+}
+
+// TestMarkov3TrajectoryOccupancy pins the geometric-sojourn trajectory of a
+// Markov3 model distributionally: the per-slot occupancy reconstructed from
+// sojourn runs must match the model's stationary distribution (via the
+// interned expect analytics) and the occupancy of an independently seeded
+// per-slot chain, within sampling tolerance.
+func TestMarkov3TrajectoryOccupancy(t *testing.T) {
+	m := avail.MustMarkov3([3][3]float64{
+		{0.90, 0.06, 0.04},
+		{0.08, 0.88, 0.04},
+		{0.05, 0.05, 0.90},
+	})
+	a := expect.Of(m)
+	const n = 300000
+	occ := func(v avail.Vector) [3]float64 {
+		var c [3]int
+		for _, s := range v {
+			c[s]++
+		}
+		return [3]float64{float64(c[0]) / n, float64(c[1]) / n, float64(c[2]) / n}
+	}
+	byRuns := occ(recordTrajectory(t, m.NewProcess(rng.New(5), avail.Up), n))
+	bySlots := occ(avail.Record(m.NewProcess(rng.New(17), avail.Up), n))
+	pi := [3]float64{a.PiU, a.PiR, a.PiD}
+	const tol = 0.02
+	for s := 0; s < 3; s++ {
+		if math.Abs(byRuns[s]-pi[s]) > tol {
+			t.Errorf("state %v: trajectory occupancy %.4f, stationary %.4f", avail.State(s), byRuns[s], pi[s])
+		}
+		if math.Abs(byRuns[s]-bySlots[s]) > tol {
+			t.Errorf("state %v: trajectory occupancy %.4f, per-slot chain %.4f", avail.State(s), byRuns[s], bySlots[s])
+		}
+	}
+}
+
+// TestGeometricSojournMoments pins the closed-form geometric sampler's mean
+// and variance against the analytic values 1/(1-stay) and stay/(1-stay)^2,
+// for stay values spanning the paper rule's diagonal range — including a
+// stay drawn from a Markov3 model so the sojourn sampler and the chain
+// analytics (expect interning the same model class) stay coupled.
+func TestGeometricSojournMoments(t *testing.T) {
+	stays := []float64{0, 0.5, 0.9, 0.99}
+	m := avail.RandomMarkov3(rng.New(3))
+	stays = append(stays, m.P(avail.Up, avail.Up))
+	r := rng.New(99)
+	for _, stay := range stays {
+		sample := avail.GeometricSojourn(stay)
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			d := sample(r)
+			if d < 1 {
+				t.Fatalf("stay %v: sojourn %d < 1", stay, d)
+			}
+			x := float64(d)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := 1 / (1 - stay)
+		wantVar := stay / ((1 - stay) * (1 - stay))
+		if math.Abs(mean-wantMean) > 0.04*wantMean {
+			t.Errorf("stay %v: mean %.4f, want %.4f", stay, mean, wantMean)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar) > 0.08*wantVar {
+			t.Errorf("stay %v: variance %.4f, want %.4f", stay, variance, wantVar)
+		}
+		if stay == 0 && variance != 0 {
+			t.Errorf("stay 0: variance %v, want exactly 0", variance)
+		}
+	}
+}
+
+// TestSemiMarkovGeometricOccupancyMatchesMarkov3 is the satellite's
+// stationary-analytics property: a semi-Markov process with geometric
+// sojourns at each state's stay probability and the conditional jump matrix
+// of a Markov3 model is that Markov chain, so its empirical occupancy must
+// match the chain's stationary distribution from internal/expect.
+func TestSemiMarkovGeometricOccupancyMatchesMarkov3(t *testing.T) {
+	m := avail.RandomMarkov3(rng.New(12))
+	var jump [3][3]float64
+	var samplers [3]avail.SojournSampler
+	for i := 0; i < 3; i++ {
+		stay := m.P(avail.State(i), avail.State(i))
+		samplers[i] = avail.GeometricSojourn(stay)
+		for j := 0; j < 3; j++ {
+			if i != j {
+				jump[i][j] = m.P(avail.State(i), avail.State(j)) / (1 - stay)
+			}
+		}
+	}
+	sm, err := avail.NewSemiMarkov(jump, samplers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := expect.Of(m)
+	const n = 400000
+	var c [3]int
+	p := sm.NewProcess(rng.New(7), avail.Up)
+	for i := 0; i < n; i++ {
+		c[p.Next()]++
+	}
+	pi := [3]float64{a.PiU, a.PiR, a.PiD}
+	for s := 0; s < 3; s++ {
+		got := float64(c[s]) / n
+		if math.Abs(got-pi[s]) > 0.03 {
+			t.Errorf("state %v: semi-Markov occupancy %.4f, Markov3 stationary %.4f", avail.State(s), got, pi[s])
+		}
+	}
+}
+
+// TestGeometricSojournNearOne pins the p->1 edge case: stay values a hair
+// below 1 must return (clamped, >= 1) draws in constant time instead of
+// looping per slot.
+func TestGeometricSojournNearOne(t *testing.T) {
+	r := rng.New(1)
+	for _, stay := range []float64{0.999999, 1 - 1e-12, math.Nextafter(1, 0)} {
+		sample := avail.GeometricSojourn(stay)
+		for i := 0; i < 100; i++ {
+			if d := sample(r); d < 1 {
+				t.Fatalf("stay %v: sojourn %d < 1", stay, d)
+			}
+		}
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeometricSojourn(%v) should panic", bad)
+				}
+			}()
+			avail.GeometricSojourn(bad)
+		}()
+	}
+}
+
+// TestContinuousSojournEdgeCases pins the continuous samplers' floors and
+// clamps: tiny-scale Weibull draws (sub-slot durations) must round up to 1,
+// and heavy-tailed draws that overflow float-to-int conversion must clamp
+// instead of producing undefined values.
+func TestContinuousSojournEdgeCases(t *testing.T) {
+	r := rng.New(2)
+	samplers := map[string]avail.SojournSampler{
+		"weibull-tiny":   avail.WeibullSojourn(0.6, 1e-300),
+		"weibull-heavy":  avail.WeibullSojourn(0.05, 2.0),
+		"pareto-heavy":   avail.ParetoSojourn(1e-9, 0.01),
+		"lognorm-wide":   avail.LogNormalSojourn(0, 50),
+		"lognorm-narrow": avail.LogNormalSojourn(-700, 0.1),
+	}
+	for name, sample := range samplers {
+		for i := 0; i < 2000; i++ {
+			d := sample(r)
+			if d < 1 {
+				t.Fatalf("%s draw %d: sojourn %d < 1", name, i, d)
+			}
+		}
+	}
+	tiny := avail.WeibullSojourn(0.6, 1e-300)
+	for i := 0; i < 100; i++ {
+		if d := tiny(r); d != 1 {
+			t.Fatalf("tiny-scale Weibull draw %d: %d, want 1", i, d)
+		}
+	}
+}

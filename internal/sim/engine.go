@@ -33,6 +33,10 @@ type Config struct {
 	Procs []avail.Process
 	// Scheduler is the heuristic under test.
 	Scheduler Scheduler
+	// Mode selects the engine's time base: ModeSlot (the default) ticks
+	// every slot; ModeEvent samples availability at sojourn granularity and
+	// skips quiet spans (requires Procs that implement avail.Trajectory).
+	Mode Mode
 	// Observer, when non-nil, is invoked after every slot.
 	Observer func(*SlotReport)
 	// OnEvent, when non-nil, receives engine events (verbose timelines).
@@ -57,6 +61,16 @@ func (c *Config) validate() error {
 	for i, p := range c.Procs {
 		if p == nil {
 			return fmt.Errorf("sim: nil availability process %d", i)
+		}
+	}
+	if !c.Mode.valid() {
+		return fmt.Errorf("sim: invalid mode %d", c.Mode)
+	}
+	if c.Mode == ModeEvent {
+		for i, p := range c.Procs {
+			if _, ok := p.(avail.Trajectory); !ok {
+				return fmt.Errorf("sim: event mode requires availability processes implementing avail.Trajectory; process %d (%T) does not", i, p)
+			}
 		}
 	}
 	if c.Scheduler == nil {
@@ -144,6 +158,17 @@ type engine struct {
 	// maintained at the pipeline mutation sites so the scheduling round
 	// reads its n_active base in O(1) instead of recounting all P workers.
 	nBusy int
+	// trajs/pendState/evq implement the event-mode clock (eventclock.go):
+	// trajs are the trajectory views of cfg.Procs, pendState[i] is the
+	// state worker i enters at its queued transition slot, and evq is the
+	// (slot, worker) min-heap of pending transitions.
+	trajs     []avail.Trajectory
+	pendState []avail.State
+	evq       transitionHeap
+	// skipQuiet permits quiet-span skipping: event mode with a scheduler
+	// that does not implement Canceller (a Canceller may act on slots where
+	// no engine state changed, so its slots cannot be skipped).
+	skipQuiet bool
 	// runID stamps View.Run; drawn from runCounter at reset.
 	runID int64
 	// mutateSkipDirty suppresses markDirty for worker mutateSkipDirty-1
@@ -200,9 +225,14 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	}
 	e := &r.e
 	e.reset(cfg)
+	if cfg.Mode == ModeEvent {
+		if err := e.initEventClock(); err != nil {
+			return nil, err
+		}
+	}
 
 	maxSlots := cfg.Params.EffectiveMaxSlots()
-	for e.slot = 0; e.slot < maxSlots; e.slot++ {
+	for e.slot = 0; e.slot < maxSlots; {
 		if err := e.step(); err != nil {
 			return nil, err
 		}
@@ -214,6 +244,7 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 				Stats:         e.stats,
 			}, nil
 		}
+		e.slot = e.nextSlot(maxSlots)
 	}
 	return &Result{
 		Completed:     false,
@@ -303,6 +334,10 @@ func (e *engine) reset(cfg Config) {
 	e.overlaid = false
 	e.finishers = e.finishers[:0]
 
+	e.trajs = e.trajs[:0]
+	e.evq.reset()
+	e.skipQuiet = false
+
 	e.slot, e.iter = 0, 0
 	e.stats = Stats{}
 	e.ends = e.ends[:0]
@@ -333,7 +368,13 @@ func (e *engine) releaseCopy(c *copyState) {
 
 // step executes one time slot.
 func (e *engine) step() error {
-	e.advanceStates()
+	if e.cfg.Mode == ModeEvent {
+		if err := e.advanceStatesEvent(); err != nil {
+			return err
+		}
+	} else {
+		e.advanceStates()
+	}
 	if err := e.schedule(); err != nil {
 		return err
 	}
@@ -364,28 +405,36 @@ func (e *engine) step() error {
 // consequences.
 func (e *engine) advanceStates() {
 	for i := range e.workers {
-		w := &e.workers[i]
 		next := e.cfg.Procs[i].Next()
-		if next != w.state {
-			e.markDirty(i)
-			if next == avail.Down {
-				e.stats.Crashes++
-				e.stats.WastedProgramSlots += int64(w.progRecv)
-				e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
-				if w.busy() {
-					e.nBusy--
-				}
-				e.dropBuf = w.crash(e.dropBuf[:0])
-				for _, c := range e.dropBuf {
-					e.taskLostCopy(c.task)
-					e.wasteCopy(c)
-					e.releaseCopy(c)
-				}
-				e.syncChain(i)
-			}
+		if next != e.workers[i].state {
+			e.applyState(i, next)
 		}
-		w.state = next
 	}
+}
+
+// applyState transitions worker i to next — which callers guarantee differs
+// from its current state — applying crash consequences. It is the single
+// mutation site shared by the slot-mode per-slot scan and the event-mode
+// transition queue, so the two time bases cannot drift on crash semantics.
+func (e *engine) applyState(i int, next avail.State) {
+	w := &e.workers[i]
+	e.markDirty(i)
+	if next == avail.Down {
+		e.stats.Crashes++
+		e.stats.WastedProgramSlots += int64(w.progRecv)
+		e.emit(Event{Slot: e.slot, Kind: EvCrash, Worker: i, Task: -1, Replica: -1, Iteration: e.iter})
+		if w.busy() {
+			e.nBusy--
+		}
+		e.dropBuf = w.crash(e.dropBuf[:0])
+		for _, c := range e.dropBuf {
+			e.taskLostCopy(c.task)
+			e.wasteCopy(c)
+			e.releaseCopy(c)
+		}
+		e.syncChain(i)
+	}
+	w.state = next
 }
 
 // wasteCopy accounts a killed/cancelled copy's sunk work.

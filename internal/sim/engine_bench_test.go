@@ -15,10 +15,10 @@ import (
 // heavy cell), and the per-slot full view rebuild (quiet platform where most
 // workers are DOWN and clean).
 
-// BenchmarkEngineReplicationHeavy runs many UP processors against few tasks,
-// so the replication loop fires almost every slot. Pre-tracker, every pick
+// benchReplicationHeavy runs many UP processors against few tasks, so the
+// replication loop fires almost every slot. Pre-tracker, every pick
 // re-scanned all m tasks.
-func BenchmarkEngineReplicationHeavy(b *testing.B) {
+func benchReplicationHeavy(b *testing.B, mode sim.Mode) {
 	scen := rng.New(7)
 	pl := platform.RandomPlatform(scen, 40, 3)
 	prm := platform.Params{M: 6, Iterations: 8, Ncom: 8, Tprog: 10, Tdata: 2, MaxReplicas: 2}
@@ -32,7 +32,7 @@ func BenchmarkEngineReplicationHeavy(b *testing.B) {
 			procs[j] = p.Avail.NewProcess(r.Split(), avail.Up)
 		}
 		sched, _ := core.New("emct*", nil)
-		res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched})
+		res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched, Mode: mode})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,10 +41,18 @@ func BenchmarkEngineReplicationHeavy(b *testing.B) {
 	b.ReportMetric(float64(totalSlots)/float64(b.N), "slots/run")
 }
 
-// BenchmarkEngineQuietPlatform keeps most of a large platform DOWN, so the
-// dirty set leaves the bulk of the ProcViews untouched each slot.
-// Pre-tracker, buildView rebuilt all P snapshots every slot regardless.
-func BenchmarkEngineQuietPlatform(b *testing.B) {
+func BenchmarkEngineReplicationHeavy(b *testing.B) { benchReplicationHeavy(b, sim.ModeSlot) }
+
+// BenchmarkEngineReplicationHeavyEvent is the busy-platform worst case for
+// the event clock: transitions are frequent and workers rarely idle, so
+// quiet-slot skipping almost never fires and the heap bookkeeping is pure
+// overhead. The pair bounds the event engine's regression on busy cells.
+func BenchmarkEngineReplicationHeavyEvent(b *testing.B) { benchReplicationHeavy(b, sim.ModeEvent) }
+
+// benchQuietPlatform keeps most of a large platform DOWN, so the dirty set
+// leaves the bulk of the ProcViews untouched each slot. Pre-tracker,
+// buildView rebuilt all P snapshots every slot regardless.
+func benchQuietPlatform(b *testing.B, mode sim.Mode) {
 	// Mostly-down model: long DOWN sojourns, short UP bursts.
 	quiet := avail.MustMarkov3([3][3]float64{
 		{0.60, 0.10, 0.30},
@@ -66,7 +74,7 @@ func BenchmarkEngineQuietPlatform(b *testing.B) {
 			procs[j] = p.Avail.NewProcess(r.Split(), avail.Down)
 		}
 		sched, _ := core.New("emct*", nil)
-		res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched})
+		res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: sched, Mode: mode})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,3 +82,11 @@ func BenchmarkEngineQuietPlatform(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalSlots)/float64(b.N), "slots/run")
 }
+
+func BenchmarkEngineQuietPlatform(b *testing.B) { benchQuietPlatform(b, sim.ModeSlot) }
+
+// BenchmarkEngineQuietPlatformEvent is the event clock's home turf: with
+// long DOWN sojourns the simulation should jump across quiet spans instead
+// of stepping 20000 slots, so this pair measures the skip machinery's
+// actual payoff against the same platform in slot mode.
+func BenchmarkEngineQuietPlatformEvent(b *testing.B) { benchQuietPlatform(b, sim.ModeEvent) }

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/avail"
+)
+
+// This file is the event-driven time base (Config.Mode == ModeEvent). Two
+// mechanisms replace the slot loop's flat per-slot costs:
+//
+//   - availability is sampled at sojourn granularity: each processor's
+//     trajectory (avail.Trajectory) yields (state, startSlot) runs, queued
+//     on a (slot, worker) min-heap, so advancing states costs O(changes)
+//     per slot instead of O(P) RNG draws;
+//
+//   - quiet spans are skipped: when a finished slot mutated no
+//     scheduler-visible state and no scheduler decision could bind work on
+//     the frozen platform, every slot before the next queued availability
+//     transition would replay identically, so the clock jumps straight to
+//     that transition (nextSlot).
+//
+// All per-slot mutation sites (crash handling, tracker updates, dirty
+// marks, metrics) are shared with slot mode — event mode only changes when
+// they run, never what they do.
+
+// transitionHeap is a binary min-heap of pending availability transitions
+// ordered by (slot, worker). Same-slot entries pop in ascending worker
+// order, matching advanceStates' ascending-worker loop, so simultaneous
+// transitions apply in the identical order and crash event streams stay
+// bit-identical across modes.
+type transitionHeap struct {
+	slot   []int
+	worker []int
+}
+
+func (h *transitionHeap) reset() {
+	h.slot = h.slot[:0]
+	h.worker = h.worker[:0]
+}
+
+func (h *transitionHeap) len() int { return len(h.slot) }
+
+func (h *transitionHeap) less(a, b int) bool {
+	return h.slot[a] < h.slot[b] ||
+		(h.slot[a] == h.slot[b] && h.worker[a] < h.worker[b])
+}
+
+func (h *transitionHeap) swap(a, b int) {
+	h.slot[a], h.slot[b] = h.slot[b], h.slot[a]
+	h.worker[a], h.worker[b] = h.worker[b], h.worker[a]
+}
+
+func (h *transitionHeap) push(slot, worker int) {
+	h.slot = append(h.slot, slot)
+	h.worker = append(h.worker, worker)
+	for i := len(h.slot) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// min returns the earliest queued transition slot.
+func (h *transitionHeap) min() (slot int, ok bool) {
+	if len(h.slot) == 0 {
+		return 0, false
+	}
+	return h.slot[0], true
+}
+
+// pop removes and returns the root entry.
+func (h *transitionHeap) pop() (slot, worker int) {
+	slot, worker = h.slot[0], h.worker[0]
+	last := len(h.slot) - 1
+	h.swap(0, last)
+	h.slot = h.slot[:last]
+	h.worker = h.worker[:last]
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < last && h.less(left, least) {
+			least = left
+		}
+		if right < last && h.less(right, least) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return slot, worker
+}
+
+// initEventClock sizes and fills the event clock after reset: one
+// trajectory per worker, with its slot-0 state queued as the first
+// transition. Config.validate has already checked every process implements
+// avail.Trajectory.
+func (e *engine) initEventClock() error {
+	p := len(e.workers)
+	if cap(e.trajs) < p {
+		e.trajs = make([]avail.Trajectory, 0, p)
+	}
+	if cap(e.pendState) < p {
+		e.pendState = make([]avail.State, p)
+	}
+	e.pendState = e.pendState[:p]
+	for i, proc := range e.cfg.Procs {
+		tr := proc.(avail.Trajectory)
+		e.trajs = append(e.trajs, tr)
+		s, at := tr.NextTransition()
+		if at != 0 {
+			return fmt.Errorf("sim: availability trajectory %d: first transition at slot %d, want 0", i, at)
+		}
+		e.pendState[i] = s
+		e.evq.push(0, i)
+	}
+	_, canceller := e.cfg.Scheduler.(Canceller)
+	e.skipQuiet = !canceller
+	return nil
+}
+
+// advanceStatesEvent applies the availability transitions due at the
+// current slot and refills the queue from the trajectories. Between queued
+// transitions a worker's state is constant, so slots with no due entry
+// leave every state untouched — exactly what advanceStates computes one
+// Next call at a time, at O(changes) instead of O(P) cost.
+func (e *engine) advanceStatesEvent() error {
+	for {
+		at, ok := e.evq.min()
+		if !ok || at > e.slot {
+			return nil
+		}
+		_, i := e.evq.pop()
+		next := e.pendState[i]
+		if next != e.workers[i].state {
+			e.applyState(i, next)
+		}
+		ns, nat := e.trajs[i].NextTransition()
+		if nat == avail.Forever {
+			continue // the worker's state holds for the rest of the run
+		}
+		if nat <= at {
+			return fmt.Errorf("sim: availability trajectory %d: transition slot %d not after %d", i, nat, at)
+		}
+		e.pendState[i] = ns
+		e.evq.push(nat, i)
+	}
+}
+
+// nextSlot returns the slot the run executes after the current one. Slot
+// mode always advances by one. Event mode jumps over quiet spans: between
+// queued availability transitions the platform is frozen except for
+// computations grinding toward known completion slots, so when no chain on
+// an UP worker can advance, no computation is about to emit its start
+// event or finish, and canMaterialize rules out any new binding, every
+// skipped slot would replay identically — same views, same scheduler
+// picks, same evaporating plans — with each computing worker advancing by
+// exactly one compute slot. The clock jumps to the earliest of the next
+// transition, the earliest compute completion, and the horizon, bulk-
+// applying the skipped compute progress. Observer reports for the span are
+// replayed verbatim (reportQuietSpan).
+func (e *engine) nextSlot(maxSlots int) int {
+	if e.cfg.Mode != ModeEvent || !e.skipQuiet {
+		return e.slot + 1
+	}
+	target := maxSlots
+	if at, ok := e.evq.min(); ok && at < maxSlots {
+		target = at
+	}
+	if target <= e.slot+1 {
+		return e.slot + 1
+	}
+	// Scan the frozen platform. A chain still needing channel slots on an
+	// UP worker advances every slot, and a computation that has not started
+	// yet emits EvComputeStart next slot — both force slot-by-slot
+	// execution. Running computations instead bound the jump by their
+	// completion slot: the slot a copy finishes must execute normally.
+	tprog := e.params.Tprog
+	computing := 0
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.state != avail.Up {
+			continue
+		}
+		if w.needsTransfer(tprog) {
+			return e.slot + 1
+		}
+		if w.computing == nil || !w.hasProgram(tprog) {
+			continue
+		}
+		if w.computing.computeDone == 0 {
+			return e.slot + 1
+		}
+		computing++
+		if end := e.slot + w.proc.W - w.computing.computeDone; end < target {
+			target = end
+		}
+	}
+	if target <= e.slot+1 || e.canMaterialize() {
+		return e.slot + 1
+	}
+	if e.slowChecks {
+		e.verifySkip(target)
+	}
+	// Bulk-replay the skipped slots' compute progress: each one advances
+	// every computing worker by one UP compute slot without completing
+	// (target stops at the earliest completion). The workers carry this
+	// slot's dirty marks, so their views rebuild at target exactly as
+	// slot-by-slot execution would leave them.
+	if computing > 0 {
+		delta := target - e.slot - 1
+		for i := range e.workers {
+			w := &e.workers[i]
+			if w.state == avail.Up && w.computing != nil && w.hasProgram(tprog) {
+				w.computing.computeDone += delta
+				e.markDirty(i)
+			}
+		}
+		e.stats.ComputeSlots += int64(computing) * int64(delta)
+	}
+	if e.cfg.Observer != nil {
+		e.reportQuietSpan(e.slot+1, target, computing)
+	}
+	return target
+}
+
+// canMaterialize conservatively decides whether any scheduler decision
+// could bind a new copy while worker states stay frozen. It may answer
+// true when the actual scheduler would bind nothing (costing an unskipped
+// slot), but answers false only when no pick could materialize:
+//
+//   - a pending original binds only on an UP worker with a free incoming
+//     slot, and any idle worker is also free, so with no free UP worker
+//     neither originals nor replicas can bind;
+//   - with no pending originals, replicas need the engine's gate (more UP
+//     workers than remaining tasks, replication enabled), an idle UP
+//     worker, and a live task below the copy cap (leastCovered, exact
+//     outside rounds since schedule undoes the planning overlay).
+//
+// Channel capacity never blocks a quiet slot's binding: a chain on an UP
+// worker would have advanced and dirtied the slot, so all Ncom >= 1
+// channels are free.
+func (e *engine) canMaterialize() bool {
+	up, idle, freeUp := 0, 0, false
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.state != avail.Up {
+			continue
+		}
+		up++
+		if w.incoming == nil {
+			freeUp = true
+		}
+		if !w.busy() {
+			idle++
+		}
+	}
+	if e.trk.pendHead != noTask {
+		return freeUp
+	}
+	if e.params.MaxReplicas == 0 || idle == 0 || up <= e.trk.remaining {
+		return false
+	}
+	t, _ := e.trk.leastCovered(1 + e.params.MaxReplicas)
+	return t != noTask
+}
+
+// reportQuietSpan replays the Observer reports for the skipped slots
+// [from, to). A quiet slot's report is fully determined by state the skip
+// preconditions freeze — no transfers, a constant set of computing
+// workers, a constant UP count and cumulative completion count — so the
+// replayed reports are identical to what slot-by-slot execution would
+// emit.
+func (e *engine) reportQuietSpan(from, to, computing int) {
+	up := 0
+	for i := range e.workers {
+		if e.workers[i].state == avail.Up {
+			up++
+		}
+	}
+	rep := SlotReport{
+		Iteration:        e.iter,
+		UpWorkers:        up,
+		ComputingWorkers: computing,
+		TasksCompleted:   e.stats.TasksCompleted,
+	}
+	for s := from; s < to; s++ {
+		rep.Slot = s
+		e.cfg.Observer(&rep)
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/rng"
+)
+
+// reconstructRLE replays a vector through the run-length trajectory view
+// (avail.VectorProcess.NextTransition, the representation event-driven
+// simulation consumes) and rebuilds the per-slot states for n slots,
+// checking the run grammar: first run starts at slot 0, runs start at
+// strictly increasing slots, consecutive runs differ in state, and the
+// final state holds Forever.
+func reconstructRLE(t *testing.T, v avail.Vector, n int) avail.Vector {
+	t.Helper()
+	p := avail.NewVectorProcess(v)
+	cur, at := p.NextTransition()
+	if at != 0 {
+		t.Fatalf("first run starts at slot %d, want 0", at)
+	}
+	out := make(avail.Vector, 0, n)
+	for len(out) < n {
+		ns, nat := p.NextTransition()
+		if nat == avail.Forever {
+			if ns != v[len(v)-1] {
+				t.Fatalf("Forever run in state %v, vector ends in %v", ns, v[len(v)-1])
+			}
+			for len(out) < n {
+				out = append(out, cur)
+			}
+			return out
+		}
+		if nat <= at || ns == cur {
+			t.Fatalf("bad run (state %v, slot %d) after (state %v, slot %d)", ns, nat, cur, at)
+		}
+		for len(out) < nat {
+			out = append(out, cur)
+		}
+		cur, at = ns, nat
+	}
+	return out
+}
+
+// TestSetRLERoundTrip round-trips every vector of synthetic trace sets
+// through the RLE trajectory view and requires the reconstructed per-slot
+// states to be identical — the equivalence that lets event-driven runs
+// consume recorded traces without a per-slot replay.
+func TestSetRLERoundTrip(t *testing.T) {
+	r := rng.New(42)
+	for _, style := range []FTAStyle{Weibull, Pareto, LogNormal} {
+		set := &Set{Vectors: make([]avail.Vector, 4)}
+		for i := range set.Vectors {
+			proc, err := NewSynthProcess(r.Split(), SynthOptions{Style: style})
+			if err != nil {
+				t.Fatal(err)
+			}
+			set.Vectors[i] = avail.Record(proc, 500)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range set.Vectors {
+			got := reconstructRLE(t, v, len(v))
+			for s := range v {
+				if got[s] != v[s] {
+					t.Fatalf("style %v vector %d slot %d: RLE %v, original %v", style, i, s, got[s], v[s])
+				}
+			}
+		}
+	}
+}
+
+// TestSetRLERoundTripDegenerate covers the constant vectors the fuzz corpus
+// seeds: all-UP and all-DOWN traces are a single run, so the trajectory
+// view must emit exactly one transition and then hold Forever.
+func TestSetRLERoundTripDegenerate(t *testing.T) {
+	for _, spec := range []string{
+		strings.Repeat("u", 64),
+		strings.Repeat("d", 64),
+		strings.Repeat("r", 64),
+		"u",
+		"d",
+	} {
+		v, err := avail.ParseVector(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := avail.NewVectorProcess(v)
+		s, at := p.NextTransition()
+		if s != v[0] || at != 0 {
+			t.Fatalf("%q: first run (%v, %d), want (%v, 0)", spec, s, at, v[0])
+		}
+		if s, at = p.NextTransition(); s != v[0] || at != avail.Forever {
+			t.Fatalf("%q: second run (%v, %d), want (%v, Forever)", spec, s, at, v[0])
+		}
+		got := reconstructRLE(t, v, len(v)+10)
+		for i := range got {
+			if got[i] != v[0] {
+				t.Fatalf("%q: reconstructed slot %d is %v", spec, i, got[i])
+			}
+		}
+	}
+}
+
+// FuzzTraceRLE extends the ingestion fuzz wall to the RLE trajectory view:
+// any vector that survives Read must reconstruct per-slot identical states
+// through NextTransition. The corpus seeds the degenerate all-DOWN/all-UP
+// sets alongside mixed ones.
+func FuzzTraceRLE(f *testing.F) {
+	seeds := []string{
+		"volatrace 2 6\nuuuuuu\ndddddd\n", // degenerate all-UP / all-DOWN
+		"volatrace 1 6\nrrrrrr\n",         // degenerate all-RECLAIMED
+		"volatrace 2 3\nuud\nrdu\n",       // mixed
+		"volatrace 1 1\nd\n",              // single-slot DOWN
+		"volatrace 3 8\nuuuudddd\nduuuuuud\nrurururu\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, v := range set.Vectors {
+			got := reconstructRLE(t, v, len(v))
+			for s := range v {
+				if got[s] != v[s] {
+					t.Fatalf("vector %d slot %d: RLE %v, original %v", i, s, got[s], v[s])
+				}
+			}
+		}
+	})
+}

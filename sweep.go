@@ -32,6 +32,11 @@ type SweepConfig struct {
 	Trials int
 	// Options tunes scenario generation (CommScale for Table 3, etc.).
 	Options ScenarioOptions
+	// Mode selects the engine time base (default ModeSlot). Event mode is
+	// distribution-equivalent but consumes the availability RNG streams at
+	// sojourn granularity, so sweep aggregates differ from slot mode within
+	// sampling noise; see EXPERIMENTS.md.
+	Mode Mode
 	// Seed makes the whole sweep reproducible.
 	Seed uint64
 	// Workers bounds parallelism (default: GOMAXPROCS).
@@ -76,6 +81,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		progress:  cfg.Progress,
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
+			rn.SetMode(cfg.Mode)
 			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
 				trialSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx))
 				nCens := 0

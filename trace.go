@@ -117,7 +117,22 @@ func (s *Scenario) RunTraceWith(r *Runner, heuristic string, trialSeed uint64, v
 	if err != nil {
 		return nil, err
 	}
-	return s.runTrace(r, tm, heuristic, trialSeed, nil)
+	mode := ModeSlot
+	if r != nil {
+		mode = r.mode
+	}
+	return s.runTrace(r, tm, heuristic, trialSeed, mode, nil)
+}
+
+// RunTraceMode is RunTrace under an explicit engine time base. Trace
+// replay consumes no RNG, so deterministic heuristics produce bit-identical
+// results in both modes; see EXPERIMENTS.md for the full contract.
+func (s *Scenario) RunTraceMode(heuristic string, trialSeed uint64, vectors []string, mode Mode) (*RunResult, error) {
+	tm, err := s.tracedModels(vectors)
+	if err != nil {
+		return nil, err
+	}
+	return s.runTrace(nil, tm, heuristic, trialSeed, mode, nil)
 }
 
 // RunTraceWithEvents is RunTrace with an event callback for timelines.
@@ -127,7 +142,7 @@ func (s *Scenario) RunTraceWithEvents(heuristic string, trialSeed uint64, vector
 	if err != nil {
 		return nil, err
 	}
-	return s.runTrace(nil, tm, heuristic, trialSeed, onEvent)
+	return s.runTrace(nil, tm, heuristic, trialSeed, ModeSlot, onEvent)
 }
 
 // tracedModels resolves explicit vector specs through the scenario's
@@ -171,7 +186,7 @@ func fitTraceModels(scn *Scenario, vectors []avail.Vector) (*traceModels, error)
 // runTrace executes one trace-driven run on interned models. With a Runner,
 // the replay processes come from its pool; results are identical either way.
 func (s *Scenario) runTrace(r *Runner, tm *traceModels, heuristic string, trialSeed uint64,
-	onEvent func(Event)) (*RunResult, error) {
+	mode Mode, onEvent func(Event)) (*RunResult, error) {
 	var sched sim.Scheduler
 	var err error
 	if r != nil {
@@ -199,6 +214,7 @@ func (s *Scenario) runTrace(r *Runner, tm *traceModels, heuristic string, trialS
 		Params:    s.inner.Params,
 		Procs:     procs,
 		Scheduler: sched,
+		Mode:      mode,
 		OnEvent:   onEvent,
 	}
 	if r == nil {
@@ -256,6 +272,10 @@ type TraceSweepConfig struct {
 	TraceFiles []string
 	// Options tunes scenario generation (platform size, iterations, ...).
 	Options ScenarioOptions
+	// Mode selects the engine time base (default ModeSlot). Trace replay
+	// consumes no RNG, so trial seeds confront both modes with identical
+	// worlds; see EXPERIMENTS.md for when results match bit for bit.
+	Mode Mode
 	// Seed makes the whole sweep reproducible.
 	Seed uint64
 	// Workers bounds parallelism (default: GOMAXPROCS).
@@ -307,6 +327,7 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 		progress:  cfg.Progress,
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
+			rn.SetMode(cfg.Mode)
 			return func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (int, error) {
 				var tm *traceModels
 				var err error
@@ -333,7 +354,7 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 				trialSeed := deriveSeed(cfg.Seed, uint64(cellIdx), uint64(scenIdx), uint64(trialIdx))
 				nCens := 0
 				for _, h := range heuristics {
-					res, err := scn.runTrace(rn, tm, h, trialSeed, nil)
+					res, err := scn.runTrace(rn, tm, h, trialSeed, cfg.Mode, nil)
 					if err != nil {
 						return 0, fmt.Errorf("volatile: %s on %s: %w", h, scn.inner.Name, err)
 					}

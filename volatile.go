@@ -100,6 +100,25 @@ func Heuristics() []string { return core.Names() }
 // their uncorrected counterparts).
 func GreedyHeuristics() []string { return core.GreedyNames() }
 
+// Mode selects the engine's time base: ModeSlot ticks every slot (the
+// reference semantics and the default), ModeEvent samples availability at
+// sojourn granularity and skips quiet spans. See the sim package for the
+// equivalence contract between the two.
+type Mode = sim.Mode
+
+// Engine time bases re-exported for mode selection.
+const (
+	ModeSlot  = sim.ModeSlot
+	ModeEvent = sim.ModeEvent
+)
+
+// ParseMode parses a mode name ("slot" or "event"), failing with the list
+// of valid names.
+func ParseMode(s string) (Mode, error) { return sim.ParseMode(s) }
+
+// ModeNames returns the valid mode names.
+func ModeNames() []string { return sim.ModeNames() }
+
 // Event kinds re-exported for event-stream consumers.
 const (
 	EvProgramStart  = sim.EvProgramStart
@@ -193,6 +212,8 @@ func (s *Scenario) ProcessorModel(i int) *avail.Markov3 {
 // goroutines.
 type Runner struct {
 	r sim.Runner
+	// mode is the engine time base every run on this Runner uses.
+	mode Mode
 	// trialRng is the pooled per-trial generator, reseeded per run.
 	trialRng rng.PCG
 	// trials pools the Markov availability processes of model-driven runs.
@@ -252,26 +273,50 @@ func (ps *pooledSched) instance(name string) (sim.Scheduler, error) {
 // NewRunner returns a reusable Runner; its first run sizes the buffers.
 func NewRunner() *Runner { return &Runner{} }
 
+// SetMode selects the engine time base for every subsequent run on this
+// Runner (default ModeSlot). The trial RNG discipline is identical in both
+// modes — the same trial seed draws the same platform trajectories — but
+// event mode consumes the per-processor streams at sojourn rather than
+// slot granularity, so Markov-driven results are distribution-equivalent,
+// not bit-identical, across modes.
+func (r *Runner) SetMode(m Mode) { r.mode = m }
+
 // Run executes the named heuristic on one trial of the scenario. The trial
 // seed determines the availability trajectories and any heuristic
 // randomness; the same (scenario, trialSeed) pair confronts every heuristic
 // with the same world.
 func (s *Scenario) Run(heuristic string, trialSeed uint64) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, nil, nil)
+	return s.run(nil, heuristic, trialSeed, ModeSlot, nil, nil)
 }
 
-// RunWith is Run on a reusable Runner (nil falls back to a one-shot engine).
+// RunMode is Run under an explicit engine time base.
+func (s *Scenario) RunMode(heuristic string, trialSeed uint64, mode Mode) (*RunResult, error) {
+	return s.run(nil, heuristic, trialSeed, mode, nil, nil)
+}
+
+// RunWith is Run on a reusable Runner (nil falls back to a one-shot
+// engine). The run uses the Runner's mode (SetMode).
 func (s *Scenario) RunWith(r *Runner, heuristic string, trialSeed uint64) (*RunResult, error) {
-	return s.run(r, heuristic, trialSeed, nil, nil)
+	mode := ModeSlot
+	if r != nil {
+		mode = r.mode
+	}
+	return s.run(r, heuristic, trialSeed, mode, nil, nil)
 }
 
 // RunWithHooks is Run with optional per-slot observer and event callbacks.
 func (s *Scenario) RunWithHooks(heuristic string, trialSeed uint64,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, observer, onEvent)
+	return s.run(nil, heuristic, trialSeed, ModeSlot, observer, onEvent)
 }
 
-func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
+// RunModeWithHooks is RunWithHooks under an explicit engine time base.
+func (s *Scenario) RunModeWithHooks(heuristic string, trialSeed uint64, mode Mode,
+	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
+	return s.run(nil, heuristic, trialSeed, mode, observer, onEvent)
+}
+
+func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64, mode Mode,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
 	// The pooled path consumes the RNG exactly as the allocating path does
 	// (Reseed mirrors New, TrialPool.Trial mirrors Trial), so both produce
@@ -302,6 +347,7 @@ func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64,
 		Params:    s.inner.Params,
 		Procs:     procs,
 		Scheduler: sched,
+		Mode:      mode,
 		Observer:  observer,
 		OnEvent:   onEvent,
 	}
