@@ -13,10 +13,17 @@
 //	volabench -exp dfrs                batch-vs-fractional comparison (DFRS-style):
 //	                                   FCFS + EASY batch baselines head-to-head
 //	                                   with the paper's heuristics, per-cell columns
+//	volabench -exp largep              volunteer-grid regime (-p sets the platform
+//	                                   size, default 1000): full-width rounds over
+//	                                   the informed greedy pairs; pair with
+//	                                   -mode event at P >= 10k
 //	volabench -print-grid              the Table 1 parameter grid
 //
 // -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
 // 10 trials per cell for Table 2 / Figure 2 and 100 × 10 for Table 3.
+//
+// -p overrides the platform size (processors) for the sweep experiments
+// (table2, figure2, table3*, largep); 0 keeps each experiment's default.
 //
 // -mode selects the engine time base: slot (per-slot stepping, the default)
 // or event (sojourn-sampled availability with quiet-slot skipping — same
@@ -40,10 +47,11 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs")
+		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs|largep")
 		mode       = flag.String("mode", "slot", "engine time base: slot|event (event advances to the next availability transition and skips quiet slots)")
 		scenarios  = flag.Int("scenarios", 6, "scenarios per grid cell")
 		trials     = flag.Int("trials", 4, "trials per scenario")
+		procs      = flag.Int("p", 0, "platform size override for sweep experiments (0 = experiment default; largep defaults to 1000)")
 		seed       = flag.Uint64("seed", 42, "sweep seed")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
@@ -65,7 +73,7 @@ func main() {
 
 	// Validate everything before any profile starts, so a typo exits
 	// cleanly instead of leaving a truncated profile file behind.
-	if err := validateArgs(*exp, *mode, *scenarios, *trials, *workers); err != nil {
+	if err := validateArgs(*exp, *mode, *scenarios, *trials, *workers, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(2)
 	}
@@ -100,6 +108,7 @@ func main() {
 	case "table2":
 		cfg := volatile.Table2Config(*scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
+		cfg.Options.Processors = *procs
 		res := mustSweep(cfg)
 		fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
 			res.Instances, res.Censored, time.Since(start).Round(time.Second))
@@ -108,6 +117,7 @@ func main() {
 	case "figure2":
 		cfg := volatile.Figure2Config(*scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
+		cfg.Options.Processors = *procs
 		res := mustSweep(cfg)
 		fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
 			res.Instances, time.Since(start).Round(time.Second))
@@ -120,6 +130,7 @@ func main() {
 		}
 		cfg := volatile.Table3Config(scale, *scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
+		cfg.Options.Processors = *procs
 		res := mustSweep(cfg)
 		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
 			scale, res.Instances, time.Since(start).Round(time.Second))
@@ -175,6 +186,18 @@ func main() {
 		printRows(res.Overall, *csvPath)
 		fmt.Println()
 		printCompareCells(res)
+
+	case "largep":
+		p := *procs
+		if p == 0 {
+			p = 1000
+		}
+		cfg := volatile.LargePConfig(p, *scenarios, *trials, *seed)
+		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
+		res := mustSweep(cfg)
+		fmt.Printf("Volunteer grid — P = %d processors, n = P tasks (%d instances, %d censored runs, %v)\n\n",
+			p, res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		printRows(res.Overall, *csvPath)
 
 	case "ablation":
 		runAblation(simMode, *scenarios, *trials, *seed, *workers, progress)

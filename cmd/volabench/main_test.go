@@ -16,49 +16,56 @@ func TestValidateArgsTable(t *testing.T) {
 		scenarios int
 		trials    int
 		workers   int
+		procs     int
 		wantErr   string // substring; empty = valid
 	}{
 		// Every advertised experiment with the flag defaults.
-		{"table2-defaults", "table2", "slot", 6, 4, 0, ""},
-		{"figure2", "figure2", "slot", 6, 4, 0, ""},
-		{"table3x5", "table3x5", "slot", 6, 4, 0, ""},
-		{"table3x10", "table3x10", "slot", 6, 4, 0, ""},
-		{"ablation", "ablation", "slot", 6, 4, 0, ""},
-		{"emctgain", "emctgain", "slot", 6, 4, 0, ""},
-		{"emctgain-norepl", "emctgain-norepl", "slot", 6, 4, 0, ""},
-		{"tracesweep", "tracesweep", "slot", 6, 4, 0, ""},
-		{"dfrs", "dfrs", "slot", 6, 4, 0, ""},
+		{"table2-defaults", "table2", "slot", 6, 4, 0, 0, ""},
+		{"figure2", "figure2", "slot", 6, 4, 0, 0, ""},
+		{"table3x5", "table3x5", "slot", 6, 4, 0, 0, ""},
+		{"table3x10", "table3x10", "slot", 6, 4, 0, 0, ""},
+		{"ablation", "ablation", "slot", 6, 4, 0, 0, ""},
+		{"emctgain", "emctgain", "slot", 6, 4, 0, 0, ""},
+		{"emctgain-norepl", "emctgain-norepl", "slot", 6, 4, 0, 0, ""},
+		{"tracesweep", "tracesweep", "slot", 6, 4, 0, 0, ""},
+		{"dfrs", "dfrs", "slot", 6, 4, 0, 0, ""},
+		{"largep", "largep", "slot", 6, 4, 0, 0, ""},
 		// Explicit worker counts stay valid; 0 means all cores.
-		{"explicit-workers", "table2", "slot", 1, 1, 8, ""},
+		{"explicit-workers", "table2", "slot", 1, 1, 8, 0, ""},
+		// Platform-size overrides: 0 means the experiment default.
+		{"largep-10k", "largep", "event", 1, 1, 0, 10_000, ""},
+		{"table2-p1000", "table2", "slot", 6, 4, 0, 1000, ""},
 		// Every experiment accepts the event time base too.
-		{"table2-event", "table2", "event", 6, 4, 0, ""},
-		{"tracesweep-event", "tracesweep", "event", 6, 4, 0, ""},
-		{"dfrs-event", "dfrs", "event", 6, 4, 0, ""},
-		{"emctgain-event", "emctgain", "event", 6, 4, 0, ""},
+		{"table2-event", "table2", "event", 6, 4, 0, 0, ""},
+		{"tracesweep-event", "tracesweep", "event", 6, 4, 0, 0, ""},
+		{"dfrs-event", "dfrs", "event", 6, 4, 0, 0, ""},
+		{"emctgain-event", "emctgain", "event", 6, 4, 0, 0, ""},
+		{"largep-event", "largep", "event", 6, 4, 0, 0, ""},
 
-		{"zero-scenarios", "table2", "slot", 0, 4, 0, "-scenarios must be positive"},
-		{"negative-scenarios", "table2", "slot", -3, 4, 0, "-scenarios must be positive"},
-		{"zero-trials", "table2", "slot", 6, 0, 0, "-trials must be positive"},
-		{"negative-trials", "table2", "slot", 6, -1, 0, "-trials must be positive"},
-		{"negative-workers", "table2", "slot", 6, 4, -2, "-workers must be >= 0"},
-		{"unknown-exp", "tabel2", "slot", 6, 4, 0, `unknown experiment "tabel2"`},
-		{"empty-exp", "", "slot", 6, 4, 0, "unknown experiment"},
-		{"unknown-mode", "table2", "evnt", 6, 4, 0, `unknown mode "evnt"`},
-		{"empty-mode", "table2", "", 6, 4, 0, "unknown mode"},
+		{"zero-scenarios", "table2", "slot", 0, 4, 0, 0, "-scenarios must be positive"},
+		{"negative-scenarios", "table2", "slot", -3, 4, 0, 0, "-scenarios must be positive"},
+		{"zero-trials", "table2", "slot", 6, 0, 0, 0, "-trials must be positive"},
+		{"negative-trials", "table2", "slot", 6, -1, 0, 0, "-trials must be positive"},
+		{"negative-workers", "table2", "slot", 6, 4, -2, 0, "-workers must be >= 0"},
+		{"negative-procs", "largep", "slot", 6, 4, 0, -100, "-p must be >= 0"},
+		{"unknown-exp", "tabel2", "slot", 6, 4, 0, 0, `unknown experiment "tabel2"`},
+		{"empty-exp", "", "slot", 6, 4, 0, 0, "unknown experiment"},
+		{"unknown-mode", "table2", "evnt", 6, 4, 0, 0, `unknown mode "evnt"`},
+		{"empty-mode", "table2", "", 6, 4, 0, 0, "unknown mode"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateArgs(c.exp, c.mode, c.scenarios, c.trials, c.workers)
+			err := validateArgs(c.exp, c.mode, c.scenarios, c.trials, c.workers, c.procs)
 			if c.wantErr == "" {
 				if err != nil {
-					t.Fatalf("validateArgs(%q,%q,%d,%d,%d) = %v, want ok",
-						c.exp, c.mode, c.scenarios, c.trials, c.workers, err)
+					t.Fatalf("validateArgs(%q,%q,%d,%d,%d,%d) = %v, want ok",
+						c.exp, c.mode, c.scenarios, c.trials, c.workers, c.procs, err)
 				}
 				return
 			}
 			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
-				t.Fatalf("validateArgs(%q,%q,%d,%d,%d) = %v, want error containing %q",
-					c.exp, c.mode, c.scenarios, c.trials, c.workers, err, c.wantErr)
+				t.Fatalf("validateArgs(%q,%q,%d,%d,%d,%d) = %v, want error containing %q",
+					c.exp, c.mode, c.scenarios, c.trials, c.workers, c.procs, err, c.wantErr)
 			}
 		})
 	}
@@ -67,7 +74,7 @@ func TestValidateArgsTable(t *testing.T) {
 // TestUnknownExperimentListsAllNames pins that a typo'd -exp names every
 // valid experiment, so the error is self-serve.
 func TestUnknownExperimentListsAllNames(t *testing.T) {
-	err := validateArgs("nope", "slot", 1, 1, 0)
+	err := validateArgs("nope", "slot", 1, 1, 0, 0)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -81,7 +88,7 @@ func TestUnknownExperimentListsAllNames(t *testing.T) {
 // TestUnknownModeListsAllNames pins the -mode fail-fast path the same way:
 // a typo'd time base names every valid mode.
 func TestUnknownModeListsAllNames(t *testing.T) {
-	err := validateArgs("table2", "sloot", 1, 1, 0)
+	err := validateArgs("table2", "sloot", 1, 1, 0, 0)
 	if err == nil {
 		t.Fatal("unknown mode accepted")
 	}

@@ -13,6 +13,7 @@ import (
 var experiments = []string{
 	"table2", "figure2", "table3x5", "table3x10",
 	"ablation", "emctgain", "emctgain-norepl", "tracesweep", "dfrs",
+	"largep",
 }
 
 // validateArgs rejects unusable sweep parameters up front: a non-positive
@@ -21,7 +22,10 @@ var experiments = []string{
 // pipeline as a nonsense concurrency, and an unknown -exp should name the
 // valid experiments instead of leaving the user to read the source.
 // An unknown -mode is rejected the same way, naming the valid time bases.
-func validateArgs(exp, mode string, scenarios, trials, workers int) error {
+// A negative -p (platform-size override) is rejected here too; the library
+// validates again (ScenarioOptions.Validate), but failing pre-profile keeps
+// the CLI contract uniform.
+func validateArgs(exp, mode string, scenarios, trials, workers, procs int) error {
 	if scenarios <= 0 {
 		return fmt.Errorf("-scenarios must be positive (got %d)", scenarios)
 	}
@@ -30,6 +34,9 @@ func validateArgs(exp, mode string, scenarios, trials, workers int) error {
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, where 0 means all cores (got %d)", workers)
+	}
+	if procs < 0 {
+		return fmt.Errorf("-p must be >= 0, where 0 means the experiment default (got %d)", procs)
 	}
 	if _, err := volatile.ParseMode(mode); err != nil {
 		return fmt.Errorf("unknown mode %q (valid: %s)", mode, strings.Join(volatile.ModeNames(), ", "))

@@ -1,0 +1,161 @@
+package core
+
+import "sort"
+
+// This file is the large-slate argmin of the greedy family: an indexed
+// binary min-heap under scoreLess. The linear argmin pass in Pick costs
+// O(|eligible|) per decision, which is fine at paper scale (P = 20) but
+// dominates a volunteer-grid round planning m tasks over thousands of UP
+// workers — O(m·P) per slot. The heap makes the first decision of a round
+// O(P) (one rebuild, same cost as a single linear pass) and each subsequent
+// decision O(log P): between two Picks of the same round, the only score
+// that can change is the last-picked worker's (its NQ moved, and in the
+// corrected modes possibly the shared communication factors, which force a
+// rebuild when they move).
+//
+// PR 5 profiled exactly this structure at P = 20 and dropped it: the heap
+// bookkeeping cost ~10x the score evaluations it avoided. It therefore
+// engages only when the slate reaches greedyHeapMinEligible; below that,
+// Pick keeps the linear pass. scoreLess is a strict total order, so the
+// heap minimum IS the linear argmin — pick-for-pick identical, which the
+// equivalence property tests pin by forcing the threshold to 1.
+
+// greedyHeapMinEligible is the slate size at which Pick switches from the
+// linear argmin to the heap. Measured crossover (BenchmarkGreedyArgmin):
+// the heap's rebuild is as cheap as one linear pass, but its win needs
+// several same-round Picks over a slate large enough that O(log n)
+// resifts beat O(n) rescans; 128 is comfortably past the crossover and far
+// below volunteer-grid slates. A package variable so tests can force the
+// heap path on small slates.
+var greedyHeapMinEligible = 128
+
+// scoreHeap is an indexed binary min-heap over a build-time copy of the
+// eligible slate. Entries are slate indices (into the copy, which is
+// stable for the heap's lifetime even though the engine compacts its own
+// slate between replica picks); pos tracks each entry's heap position so
+// rescoring or deleting one entry is O(log n).
+//
+// Continuation state: a heap built during one Pick remains valid for the
+// next exactly when nothing outside the recorded deltas changed. The
+// anchors are the view epoch (constant within a scheduling round, bumped
+// by every buildView), the slate identity (backing-array pointer plus
+// length: same length = originals phase, one shorter = the engine's
+// order-preserving removal of the picked worker in the replica phase), the
+// round's pick count (a missed or foreign pick breaks the chain), and the
+// two hoisted communication factors (a factor move invalidates every
+// engaged candidate at once, so the heap rebuilds).
+type scoreHeap struct {
+	slate []int     // ascending worker IDs, copied at rebuild
+	score []float64 // score[k] of slate[k]
+	heap  []int32   // heap of slate indices
+	pos   []int32   // pos[k]: heap position of slate index k, -1 = deleted
+
+	valid                      bool
+	epoch                      int64
+	slatePtr                   *int
+	slateLen                   int
+	expectPicks                int
+	lastPick                   int
+	factorEngaged, factorFresh int
+}
+
+func (h *scoreHeap) less(a, b int32) bool {
+	return scoreLess(h.score[a], h.slate[a], h.score[b], h.slate[b])
+}
+
+func (h *scoreHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *scoreHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *scoreHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && h.less(h.heap[left], h.heap[least]) {
+			least = left
+		}
+		if right < n && h.less(h.heap[right], h.heap[least]) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// rebuild reloads the heap from the current slate, scoring every candidate
+// through score (the cache-validated evaluation, so unchanged workers cost
+// a few integer compares). O(n) — the same as one linear Pick.
+func (h *scoreHeap) rebuild(eligible []int, score func(q int) float64) {
+	n := len(eligible)
+	h.slate = append(h.slate[:0], eligible...)
+	h.score = h.score[:0]
+	h.heap = h.heap[:0]
+	h.pos = h.pos[:0]
+	for k, q := range eligible {
+		h.score = append(h.score, score(q))
+		h.heap = append(h.heap, int32(k))
+		h.pos = append(h.pos, int32(k))
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	h.slatePtr = &eligible[0]
+	h.slateLen = n
+	h.valid = true
+}
+
+// indexOf locates worker q in the build slate (ascending, so binary
+// search), or -1.
+func (h *scoreHeap) indexOf(q int) int {
+	k := sort.SearchInts(h.slate, q)
+	if k < len(h.slate) && h.slate[k] == q {
+		return k
+	}
+	return -1
+}
+
+// update rescores slate index k and restores the heap order.
+func (h *scoreHeap) update(k int, score float64) {
+	h.score[k] = score
+	i := int(h.pos[k])
+	h.siftDown(i)
+	h.siftUp(int(h.pos[k]))
+}
+
+// delete removes slate index k from the heap (the engine removed its worker
+// from the slate).
+func (h *scoreHeap) delete(k int) {
+	i := int(h.pos[k])
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap = h.heap[:last]
+	h.pos[k] = -1
+	if i < last {
+		// Fix position i for the swapped-in entry: at most one of the two
+		// sifts moves (a descendant promoted by siftDown already satisfies
+		// the upward order).
+		h.siftDown(i)
+		h.siftUp(int(h.pos[h.heap[i]]))
+	}
+}
+
+// minWorker returns the worker holding the heap minimum — the unique
+// scoreLess argmin over the live entries.
+func (h *scoreHeap) minWorker() int { return h.slate[h.heap[0]] }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// forceHeapArgmin lowers the heap threshold so every cached Pick routes
+// through the heap path, restoring it when the test ends.
+func forceHeapArgmin(t *testing.T, n int) {
+	t.Helper()
+	old := greedyHeapMinEligible
+	greedyHeapMinEligible = n
+	t.Cleanup(func() { greedyHeapMinEligible = old })
+}
+
+// TestHeapArgminPickStreamMatchesFlat is the heap path's equivalence
+// property test: with the threshold forced to 1, every single decision of
+// every greedy variant must match the plain full-scan scheduler pick for
+// pick, event for event, and on the final result — the same contract the
+// linear cached path is held to, now exercising rebuilds, same-slate
+// rescoring (originals) and slate-compaction deletes (replicas).
+func TestHeapArgminPickStreamMatchesFlat(t *testing.T) {
+	forceHeapArgmin(t, 1)
+	variants := greedyVariants()
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+
+	runOnce := func(seed uint64, s *greedySched) (*sim.Result, []sim.Event, [][4]int) {
+		rec := &pickRecorder{inner: s}
+		cfg := randomPickScenario(t, seed, rec)
+		var events []sim.Event
+		cfg.OnEvent = func(ev sim.Event) { events = append(events, ev) }
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+		}
+		return res, events, rec.log
+	}
+
+	f := func(seed uint64, pickV uint8) bool {
+		name := names[int(pickV)%len(names)]
+		heap := variants[name]()
+		flat := variants[name]()
+		flat.noCache = true
+		resH, evH, picksH := runOnce(seed, heap)
+		resF, evF, picksF := runOnce(seed, flat)
+		if !reflect.DeepEqual(picksH, picksF) {
+			for i := range picksH {
+				if i < len(picksF) && picksH[i] != picksF[i] {
+					t.Logf("seed %d %s: first divergence at decision %d: heap %v, flat %v",
+						seed, name, i, picksH[i], picksF[i])
+					break
+				}
+			}
+			return false
+		}
+		return reflect.DeepEqual(resH, resF) && reflect.DeepEqual(evH, evF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapArgminSlowCheckOracle runs the full-rescore oracle with the heap
+// path forced on: every heap decision is re-derived from a fresh linear
+// scan inside Pick, so a rotted continuation anchor panics.
+func TestHeapArgminSlowCheckOracle(t *testing.T) {
+	forceHeapArgmin(t, 1)
+	runner := sim.NewRunner()
+	runner.EnableSlowChecks()
+	for name, build := range greedyVariants() {
+		for seed := uint64(0); seed < 8; seed++ {
+			cfg := randomPickScenario(t, seed*17+3, build())
+			if _, err := runner.Run(cfg); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestScoreHeapOrder drives the bare heap against a reference linear argmin
+// over random score vectors that deliberately include exact ties (shared
+// values drawn from a tiny set), +Inf and NaN — the cases scoreLess orders
+// by ID, sentinel-last. After every mutation (rescore or delete) the heap
+// minimum must equal the scan minimum over the live entries.
+func TestScoreHeapOrder(t *testing.T) {
+	scorePool := []float64{0, 1, 1, 2.5, 2.5, math.Inf(1), math.NaN()}
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		slate := make([]int, n)
+		scores := make([]float64, n)
+		id := 0
+		for k := range slate {
+			id += 1 + r.Intn(3) // ascending, gappy worker IDs
+			slate[k] = id
+			scores[k] = scorePool[r.Intn(len(scorePool))]
+		}
+		var h scoreHeap
+		k := 0
+		h.rebuild(slate, func(int) float64 { sc := scores[k]; k++; return sc })
+
+		live := make(map[int]bool, n)
+		for _, q := range slate {
+			live[q] = true
+		}
+		refMin := func() int {
+			best := -1
+			var bestScore float64
+			for k, q := range slate {
+				if !live[q] {
+					continue
+				}
+				if best < 0 || scoreLess(scores[k], q, bestScore, best) {
+					best, bestScore = q, scores[k]
+				}
+			}
+			return best
+		}
+		if got, want := h.minWorker(), refMin(); got != want {
+			t.Fatalf("seed %d: initial min %d, reference %d", seed, got, want)
+		}
+		for op := 0; len(live) > 1 && op < 4*n; op++ {
+			k := r.Intn(n)
+			if !live[slate[k]] {
+				continue
+			}
+			if r.Intn(3) == 0 {
+				h.delete(k)
+				delete(live, slate[k])
+			} else {
+				scores[k] = scorePool[r.Intn(len(scorePool))]
+				h.update(k, scores[k])
+			}
+			if got, want := h.minWorker(), refMin(); got != want {
+				t.Fatalf("seed %d op %d: heap min %d, reference %d", seed, op, got, want)
+			}
+		}
+	}
+}

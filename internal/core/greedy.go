@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -44,8 +45,10 @@ type greedySched struct {
 	score func(pv *sim.ProcView, ct float64) float64
 	// cache is the incremental scoring state, created on first tracked
 	// Pick; noCache forces the reference path (the equivalence tests'
-	// "plain" scheduler).
+	// "plain" scheduler). argmin is the large-slate heap (argmin.go),
+	// created the first time a slate reaches greedyHeapMinEligible.
 	cache   *pickCache
+	argmin  *scoreHeap
 	noCache bool
 	// mutSkip* deliberately break one cache-invalidation source each
 	// (test-only): they exist so the mutation tests can prove the
@@ -115,21 +118,48 @@ func (s *greedySched) pickFlat(v *sim.View, eligible []int, rs *sim.RoundState) 
 	return best, bestScore
 }
 
-// cacheValid reports whether worker q's cached score is current: the view
-// snapshot, the NQ entry and (corrected modes) the communication factor it
-// was computed from all compare equal to the present inputs. The factor is
-// the caller's precomputed commFactor for q (ignored in plain mode).
-func (s *greedySched) cacheValid(c *pickCache, v *sim.View, rs *sim.RoundState, q, factor int) bool {
-	if !s.mutSkipEpoch && c.scoredEp[q] != v.ProcEpochs[q] {
-		return false
+// cachedIfValid returns worker q's cached score when its recorded inputs —
+// the view snapshot, the NQ entry and (corrected modes) the communication
+// factor it was computed from — all compare equal to the present ones. The
+// factor is the caller's precomputed commFactor for q (ignored in plain
+// mode).
+func (s *greedySched) cachedIfValid(c *pickCache, v *sim.View, rs *sim.RoundState, q, factor int) (float64, bool) {
+	sc, ep, nq, fa := c.get(q)
+	if !s.mutSkipEpoch && ep != v.ProcEpochs[q] {
+		return 0, false
 	}
-	if !s.mutSkipNQ && c.scoredNQ[q] != rs.NQ[q] {
-		return false
+	if !s.mutSkipNQ && int(nq) != rs.NQ[q] {
+		return 0, false
 	}
-	if s.mode != plainComm && !s.mutSkipNA && c.scoredFactor[q] != factor {
-		return false
+	if s.mode != plainComm && !s.mutSkipNA && int(fa) != factor {
+		return 0, false
 	}
-	return true
+	return sc, true
+}
+
+// cachedScore returns worker q's score through the cache: the cached value
+// when its inputs are current, a fresh evaluation (recorded back) otherwise.
+func (s *greedySched) cachedScore(c *pickCache, v *sim.View, rs *sim.RoundState, q, factor int) float64 {
+	if sc, ok := s.cachedIfValid(c, v, rs, q, factor); ok {
+		return sc
+	}
+	sc := s.scoreWithFactor(v, rs, q, factor)
+	c.put(q, sc, v.ProcEpochs[q], int32(rs.NQ[q]), int32(factor))
+	return sc
+}
+
+// candidateFactor selects worker q's communication factor from the two
+// hoisted values: the effective n_active is rs.NActive plus one iff picking
+// q would newly activate it. Plain mode ignores factors; 0 keeps the cache
+// key stable.
+func (s *greedySched) candidateFactor(v *sim.View, rs *sim.RoundState, q, factorEngaged, factorFresh int) int {
+	if s.mode == plainComm {
+		return 0
+	}
+	if pv := &v.Procs[q]; rs.NQ[q] == 0 && !pv.Busy() {
+		return factorFresh
+	}
+	return factorEngaged
 }
 
 // Pick implements sim.Scheduler.
@@ -145,52 +175,99 @@ func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti s
 	}
 	c.ensure(len(v.Procs))
 
-	// One validated pass over the slate: per candidate, compare the cached
-	// score's recorded inputs against the current ones (a handful of
-	// integer compares) and re-evaluate only on mismatch, tracking the
-	// argmin in the same order and traversal as the reference scan — so
-	// equivalence is structural, and the per-decision cost is
-	// O(changed evaluations + |eligible| compares).
-	best := -1
-	var bestScore float64
-	corrected := s.mode != plainComm
+	// Both factor values a single Pick can need (corrected modes): per
+	// candidate, the effective n_active is rs.NActive plus one iff picking
+	// the candidate would newly activate it, so hoist both ceil-divisions.
 	var factorEngaged, factorFresh int
-	if corrected {
-		// Per candidate, the effective n_active is rs.NActive plus one iff
-		// picking the candidate would newly activate it, so only two factor
-		// values can occur in one Pick; hoist both ceil-divisions.
+	if s.mode != plainComm {
 		factorEngaged = commFactor(rs.NActive, v.Params.Ncom)
 		factorFresh = commFactor(rs.NActive+1, v.Params.Ncom)
 	}
-	for _, q := range eligible {
-		factor := 0
-		if corrected {
-			if pv := &v.Procs[q]; rs.NQ[q] == 0 && !pv.Busy() {
-				factor = factorFresh
-			} else {
-				factor = factorEngaged
-			}
-		}
-		var sc float64
-		if s.cacheValid(c, v, rs, q, factor) {
-			sc = c.score[q]
-		} else {
-			sc = s.scoreWithFactor(v, rs, q, factor)
-			c.score[q] = sc
-			c.scoredEp[q] = v.ProcEpochs[q]
-			c.scoredNQ[q] = rs.NQ[q]
-			if corrected {
-				c.scoredFactor[q] = factor
-			}
-		}
-		if best < 0 || scoreLess(sc, q, bestScore, best) {
-			best, bestScore = q, sc
-		}
+
+	var best int
+	if len(eligible) >= greedyHeapMinEligible {
+		best = s.pickHeap(c, v, eligible, rs, factorEngaged, factorFresh)
+	} else {
+		best = s.pickLinear(c, v, eligible, rs, factorEngaged, factorFresh)
 	}
 	if v.SlowChecks {
 		s.verifyAgainstRescan(c, v, eligible, rs, best)
 	}
 	return best
+}
+
+// pickLinear is the small-slate argmin: one validated pass over the slate —
+// per candidate, compare the cached score's recorded inputs against the
+// current ones (a handful of integer compares) and re-evaluate only on
+// mismatch, tracking the argmin in the same order and traversal as the
+// reference scan. Equivalence to pickFlat is structural; the per-decision
+// cost is O(changed evaluations + |eligible| compares).
+func (s *greedySched) pickLinear(c *pickCache, v *sim.View, eligible []int, rs *sim.RoundState, factorEngaged, factorFresh int) int {
+	best := -1
+	var bestScore float64
+	for _, q := range eligible {
+		factor := s.candidateFactor(v, rs, q, factorEngaged, factorFresh)
+		sc := s.cachedScore(c, v, rs, q, factor)
+		if best < 0 || scoreLess(sc, q, bestScore, best) {
+			best, bestScore = q, sc
+		}
+	}
+	return best
+}
+
+// pickHeap is the large-slate argmin (see argmin.go): it continues the
+// round's heap when only the recorded deltas happened since the previous
+// Pick — same view epoch, same pick chain, same factor pair, and a slate
+// that is either unchanged (originals phase; the last pick's NQ moved, so
+// it is rescored) or exactly the last pick shorter (replica phase; the
+// entry is deleted) — and rebuilds it otherwise at linear-pass cost. The
+// heap minimum is returned; scoreLess being a strict total order makes it
+// the unique linear argmin.
+func (s *greedySched) pickHeap(c *pickCache, v *sim.View, eligible []int, rs *sim.RoundState, factorEngaged, factorFresh int) int {
+	h := s.argmin
+	if h == nil {
+		h = &scoreHeap{}
+		s.argmin = h
+	}
+	cont := h.valid && h.epoch == v.Epoch && rs.Picks == h.expectPicks &&
+		h.factorEngaged == factorEngaged && h.factorFresh == factorFresh &&
+		h.slatePtr == &eligible[0]
+	if cont {
+		k := h.indexOf(h.lastPick)
+		switch {
+		case k < 0 || h.pos[k] < 0:
+			cont = false
+		case len(eligible) == h.slateLen:
+			// Originals phase: the slate is unchanged and only the picked
+			// worker's NQ (and with it, possibly its factor choice) moved.
+			factor := s.candidateFactor(v, rs, h.lastPick, factorEngaged, factorFresh)
+			h.update(k, s.cachedScore(c, v, rs, h.lastPick, factor))
+		case len(eligible) == h.slateLen-1 && h.pos[k] >= 0 && !slateContains(eligible, h.lastPick):
+			// Replica phase: the engine compacted the picked worker out of
+			// the slate (order-preserving, so ascending order holds).
+			h.delete(k)
+			h.slateLen--
+		default:
+			cont = false
+		}
+	}
+	if !cont {
+		h.rebuild(eligible, func(q int) float64 {
+			return s.cachedScore(c, v, rs, q, s.candidateFactor(v, rs, q, factorEngaged, factorFresh))
+		})
+		h.epoch = v.Epoch
+		h.factorEngaged, h.factorFresh = factorEngaged, factorFresh
+	}
+	best := h.minWorker()
+	h.lastPick = best
+	h.expectPicks = rs.Picks + 1
+	return best
+}
+
+// slateContains reports whether worker q is on the (ascending) slate.
+func slateContains(eligible []int, q int) bool {
+	k := sort.SearchInts(eligible, q)
+	return k < len(eligible) && eligible[k] == q
 }
 
 // verifyAgainstRescan is the full-rescore oracle: with slow checks armed,
@@ -200,22 +277,24 @@ func (s *greedySched) Pick(v *sim.View, eligible []int, rs *sim.RoundState, ti s
 // own slow checks do.
 func (s *greedySched) verifyAgainstRescan(c *pickCache, v *sim.View, eligible []int, rs *sim.RoundState, best int) {
 	fb, fscore := s.pickFlat(v, eligible, rs)
-	if fb != best || math.Float64bits(fscore) != math.Float64bits(c.score[best]) {
+	bestCached, _, _, _ := c.get(best)
+	if fb != best || math.Float64bits(fscore) != math.Float64bits(bestCached) {
 		panic(fmt.Sprintf("core: %s: slot %d: incremental argmin (worker %d, score %v) != full rescan (worker %d, score %v)",
-			s.name, v.Slot, best, c.score[best], fb, fscore))
+			s.name, v.Slot, best, bestCached, fb, fscore))
 	}
 	for _, q := range eligible {
 		factor := 0
 		if s.mode != plainComm {
 			factor = commFactor(effectiveNActive(&v.Procs[q], rs), v.Params.Ncom)
 		}
-		if !s.cacheValid(c, v, rs, q, factor) {
+		cached, ok := s.cachedIfValid(c, v, rs, q, factor)
+		if !ok {
 			continue
 		}
 		fresh := s.scoreOf(v, rs, q)
-		if math.Float64bits(fresh) != math.Float64bits(c.score[q]) {
+		if math.Float64bits(fresh) != math.Float64bits(cached) {
 			panic(fmt.Sprintf("core: %s: slot %d: stale cached score for worker %d: cached %v, fresh %v",
-				s.name, v.Slot, q, c.score[q], fresh))
+				s.name, v.Slot, q, cached, fresh))
 		}
 	}
 }

@@ -21,14 +21,10 @@ package core
 // every use), and the slow-check oracle (View.SlowChecks) re-derives every
 // decision from a fresh scan and panics on any divergence.
 //
-// The argmin itself is a linear pass over the eligible slate tracking the
-// minimum under scoreLess. An earlier revision kept a lazy min-heap to
-// make the argmin O(log P); profiling the Table 2 sweep showed the heap
-// bookkeeping cost ~10x the score evaluations it avoided on paper-scale
-// platforms (P = 20, scores are pure arithmetic on interned analytics), so
-// the heap was dropped. scoreLess is a strict total order, so a heap (or
-// bucket) argmin keyed on it can be reintroduced verbatim if platforms
-// grow by orders of magnitude.
+// The argmin over the eligible slate is a linear pass under scoreLess on
+// paper-scale platforms, and an indexed min-heap (argmin.go) once the slate
+// crosses greedyHeapMinEligible — pick-for-pick identical because scoreLess
+// is a strict total order.
 
 // scoreLess is the strict total order all argmin paths share: lower score
 // first, NaN after every non-NaN ("a NaN score can neither win nor shadow
@@ -51,39 +47,75 @@ func scoreLess(s1 float64, id1 int, s2 float64, id2 int) bool {
 	return id1 < id2
 }
 
-// pickCache is the incremental state of one greedy scheduler instance. All
-// slices are indexed by worker ID and sized to the largest platform seen;
-// stale content from earlier runs is harmless because the engine's change
-// epochs are process-wide unique (an old stamp never equals a new one).
-type pickCache struct {
-	// score[q] plus the recorded inputs it was computed from.
-	score    []float64
-	scoredEp []int64
-	scoredNQ []int
-	// scoredFactor[q] is the communication factor used (corrected modes
-	// only; plain mode never reads it).
-	scoredFactor []int
+// Cache pages hold cachePageSize workers each; pages allocate lazily on
+// first write, so a scheduler's resident cache is O(workers actually
+// scored) — on a volunteer grid where most of a 100k-worker platform never
+// comes UP, the cache never materializes pages for the permanently-DOWN
+// span. cachePageShift is log2(cachePageSize).
+const (
+	cachePageShift = 9
+	cachePageSize  = 1 << cachePageShift
+)
+
+// cachePage is one fixed-size block of cache entries. A zero page is all
+// invalid: scoredEp 0 never equals a real change epoch (the engine's epoch
+// counter starts at 1), so fresh pages need no initialization.
+type cachePage struct {
+	score    [cachePageSize]float64
+	scoredEp [cachePageSize]int64
+	scoredNQ [cachePageSize]int32
+	// scoredFactor is the communication factor used (corrected modes only;
+	// plain mode never compares it).
+	scoredFactor [cachePageSize]int32
 }
 
-// ensure sizes the per-worker slices for a platform of p processors.
+// pickCache is the incremental state of one greedy scheduler instance,
+// indexed by worker ID. Stale content from earlier runs is harmless because
+// the engine's change epochs are process-wide unique (an old stamp never
+// equals a new one).
+type pickCache struct {
+	pages []*cachePage
+}
+
+// ensure sizes the page table for a platform of p processors (the pages
+// themselves stay nil until written).
 func (c *pickCache) ensure(p int) {
-	if len(c.score) >= p {
+	np := (p + cachePageSize - 1) >> cachePageShift
+	if len(c.pages) >= np {
 		return
 	}
-	n := 2 * len(c.score)
-	if n < p {
-		n = p
+	if cap(c.pages) >= np {
+		c.pages = c.pages[:np]
+		return
 	}
-	score := make([]float64, n)
-	copy(score, c.score)
-	c.score = score
-	ep := make([]int64, n)
-	copy(ep, c.scoredEp)
-	c.scoredEp = ep
-	nq := make([]int, n)
-	copy(nq, c.scoredNQ)
-	c.scoredNQ = nq
-	fa := make([]int, n)
-	copy(fa, c.scoredFactor)
-	c.scoredFactor = fa
+	pages := make([]*cachePage, np)
+	copy(pages, c.pages)
+	c.pages = pages
+}
+
+// get returns worker q's cache entry (zero values when its page was never
+// written — always invalid, since no real epoch is 0).
+func (c *pickCache) get(q int) (score float64, ep int64, nq, factor int32) {
+	pg := c.pages[q>>cachePageShift]
+	if pg == nil {
+		return 0, 0, 0, 0
+	}
+	off := q & (cachePageSize - 1)
+	return pg.score[off], pg.scoredEp[off], pg.scoredNQ[off], pg.scoredFactor[off]
+}
+
+// put records worker q's score and the inputs it was computed from,
+// materializing q's page on first touch.
+func (c *pickCache) put(q int, score float64, ep int64, nq, factor int32) {
+	pi := q >> cachePageShift
+	pg := c.pages[pi]
+	if pg == nil {
+		pg = new(cachePage)
+		c.pages[pi] = pg
+	}
+	off := q & (cachePageSize - 1)
+	pg.score[off] = score
+	pg.scoredEp[off] = ep
+	pg.scoredNQ[off] = nq
+	pg.scoredFactor[off] = factor
 }

@@ -69,3 +69,74 @@ func TestSteadyStateSlotAllocationCeiling(t *testing.T) {
 		t.Fatalf("allocations per simulated slot = %.4f, want <= %.2f (slot hot path must not allocate)", perSlot, ceiling)
 	}
 }
+
+// TestLargePWarmRunAllocationCeiling is the volunteer-grid extension of the
+// ceiling above, aimed at the pooled reset paths instead of the slot loop:
+// once a warm Runner has sized its buffers for P workers, a whole run must
+// allocate only a small constant — independent of P. The trial processes
+// are built once and rewound in place (a real sweep owns that allocation,
+// not the engine), so any O(P) or O(M) growth here is a reset path that
+// forgot to reuse its storage. Pre-rework, per-run traffic included the
+// event queue's rebuilt entry slice and per-task holder lists.
+func TestLargePWarmRunAllocationCeiling(t *testing.T) {
+	const (
+		p      = 5000
+		active = 64
+	)
+	cycling := avail.MustMarkov3([3][3]float64{
+		{0.90, 0.05, 0.05},
+		{0.30, 0.60, 0.10},
+		{0.30, 0.10, 0.60},
+	})
+	pl := platform.Homogeneous(p, 3, cycling)
+	prm := platform.Params{M: 16, Iterations: 3, Ncom: 8, Tprog: 10, Tdata: 2,
+		MaxReplicas: 2, MaxSlots: 20_000}
+
+	dead := avail.Vector{avail.Down}
+	procs := make([]avail.Process, p)
+	actives := make([]*avail.Markov3Process, active)
+	streams := make([]*rng.PCG, active)
+	for i := range procs {
+		if i < active {
+			streams[i] = rng.New(uint64(i))
+			actives[i] = cycling.NewProcess(streams[i], avail.Up)
+			procs[i] = actives[i]
+		} else {
+			procs[i] = avail.NewVectorProcess(dead)
+		}
+	}
+
+	for _, mode := range []sim.Mode{sim.ModeSlot, sim.ModeEvent} {
+		runner := sim.NewRunner()
+		seed := uint64(0)
+		run := func() {
+			seed++
+			for j, ap := range actives {
+				streams[j].Reseed(seed*uint64(active) + uint64(j))
+				ap.Reset(cycling, streams[j], avail.Up)
+			}
+			for j := active; j < p; j++ {
+				procs[j].(*avail.VectorProcess).Reset(dead)
+			}
+			res, err := runner.Run(sim.Config{Platform: pl, Params: prm, Procs: procs, Scheduler: leastLoaded{}, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan == 0 {
+				t.Fatal("no slots simulated")
+			}
+		}
+		run() // warm-up: sizes every P-wide buffer and the copy pool
+
+		allocs := testing.AllocsPerRun(10, run)
+		t.Logf("mode %v: %.1f allocs per warm run at P=%d", mode, allocs, p)
+		// Tight constant budget: the result plus a handful of growth-path
+		// stragglers — nothing proportional to P (which would show up as
+		// thousands).
+		const ceiling = 16
+		if allocs > ceiling {
+			t.Fatalf("mode %v: %.1f allocations per warm run at P=%d, want <= %d (reset paths must reuse storage)",
+				mode, allocs, p, ceiling)
+		}
+	}
+}

@@ -102,11 +102,18 @@ type engine struct {
 	cfg     Config
 	params  *platform.Params
 	workers []workerState
-	tasks   []taskState
-	slot    int
-	iter    int
-	stats   Stats
-	ends    []int
+	// states is the struct-of-arrays availability state (one byte per
+	// worker, the companion of workers[i]): the hot scans — slate building,
+	// the event clock's frozen-platform walk, the slow-check recounts — read
+	// only this field, and the dense packing keeps them cache-resident at
+	// volunteer-grid platform sizes. applyState is its only mutation site
+	// after reset.
+	states []avail.State
+	tasks  []taskState
+	slot   int
+	iter   int
+	stats  Stats
+	ends   []int
 	// nextReplica numbers replica copies per task within an iteration.
 	nextReplica []int
 	// scratch buffers reused across slots.
@@ -139,13 +146,26 @@ type engine struct {
 	// (filled by compute, consumed by finishSlot), so the completion pass
 	// visits candidates instead of scanning every worker.
 	finishers []int
-	// inChain/chainHead/chainNext/chainPrev form a sorted (ascending worker
-	// ID) intrusive list over the workers holding a bound, incomplete
-	// transfer chain, replacing allocateChannels' full per-slot scans.
-	inChain   []bool
-	chainHead int
-	chainNext []int
-	chainPrev []int
+	// chainSet indexes the workers holding a bound, incomplete transfer
+	// chain (ascending-worker iteration), replacing allocateChannels' full
+	// per-slot scans; syncChain is its single reconciliation site.
+	chainSet idSet
+	// upSet indexes the UP workers; with the nUp/nFreeUp/nIdleUp counters
+	// it replaces every O(P) availability scan outside the slow-check
+	// oracles: the originals slate, compute's walk, the event clock's
+	// frozen-platform scan, canMaterialize and the per-slot Observer count.
+	// reindexAvail maintains set and counters at every mutation site.
+	upSet idSet
+	// nUp counts UP workers; nFreeUp the UP workers with a free incoming
+	// slot (able to accept a new copy); nIdleUp the UP workers with no begun
+	// work at all (replica hosts).
+	nUp, nFreeUp, nIdleUp int
+	// holders[t] lists the workers currently holding a live copy of task t
+	// (at most 1+MaxReplicas entries, unordered), so completion cancels
+	// sibling copies by visiting exactly the holders instead of scanning all
+	// P workers. holderScratch is the completion pass's sorted snapshot.
+	holders       [][]int32
+	holderScratch []int32
 	// eligStamp/eligEpoch validate replica-phase picks in O(1): a worker is
 	// eligible iff its stamp equals the epoch. Originals-phase picks are
 	// validated directly against the availability state (the originals
@@ -264,8 +284,10 @@ func (e *engine) reset(cfg Config) {
 
 	if cap(e.workers) < p {
 		e.workers = make([]workerState, p)
+		e.states = make([]avail.State, p)
 	}
 	e.workers = e.workers[:p]
+	e.states = e.states[:p]
 	for i := range e.workers {
 		w := &e.workers[i]
 		// Retire copies a previous run left in flight.
@@ -276,8 +298,11 @@ func (e *engine) reset(cfg Config) {
 			e.releaseCopy(w.incoming)
 		}
 		proc := cfg.Platform.Processors[i]
-		*w = workerState{proc: proc, state: avail.Down, analytics: expect.Of(proc.Avail)}
+		*w = workerState{proc: proc, analytics: expect.Of(proc.Avail)}
+		e.states[i] = avail.Down
 	}
+	e.upSet.reset(p)
+	e.nUp, e.nFreeUp, e.nIdleUp = 0, 0, 0
 
 	if cap(e.tasks) < m {
 		e.tasks = make([]taskState, m)
@@ -291,6 +316,15 @@ func (e *engine) reset(cfg Config) {
 		e.tasks[t] = taskState{}
 		e.nextReplica[t] = 0
 		e.plannedCopies[t] = 0
+	}
+	if cap(e.holders) < m {
+		holders := make([][]int32, m)
+		copy(holders, e.holders)
+		e.holders = holders
+	}
+	e.holders = e.holders[:m]
+	for t := range e.holders {
+		e.holders[t] = e.holders[t][:0]
 	}
 
 	if cap(e.rs.NQ) < p {
@@ -312,24 +346,17 @@ func (e *engine) reset(cfg Config) {
 	e.trk.reset(m, 1+cfg.Params.MaxReplicas)
 	if cap(e.procDirty) < p {
 		e.procDirty = make([]bool, p)
-		e.inChain = make([]bool, p)
-		e.chainNext = make([]int, p)
-		e.chainPrev = make([]int, p)
 		e.eligStamp = make([]int, p)
 	}
 	e.procDirty = e.procDirty[:p]
-	e.inChain = e.inChain[:p]
-	e.chainNext = e.chainNext[:p]
-	e.chainPrev = e.chainPrev[:p]
 	e.eligStamp = e.eligStamp[:p]
 	e.dirtyProcs = e.dirtyProcs[:0]
 	for i := 0; i < p; i++ {
 		e.procDirty[i] = true
 		e.dirtyProcs = append(e.dirtyProcs, i)
-		e.inChain[i] = false
 		e.eligStamp[i] = 0
 	}
-	e.chainHead = noWorker
+	e.chainSet.reset(p)
 	e.eligEpoch = 0
 	e.overlaid = false
 	e.finishers = e.finishers[:0]
@@ -383,17 +410,11 @@ func (e *engine) step() error {
 	e.finishSlot()
 
 	if e.cfg.Observer != nil {
-		up := 0
-		for i := range e.workers {
-			if e.workers[i].state == avail.Up {
-				up++
-			}
-		}
 		e.cfg.Observer(&SlotReport{
 			Slot:             e.slot,
 			Iteration:        e.iter,
 			TransfersUsed:    transfers,
-			UpWorkers:        up,
+			UpWorkers:        e.nUp,
 			ComputingWorkers: computing,
 			TasksCompleted:   e.stats.TasksCompleted,
 		})
@@ -406,10 +427,51 @@ func (e *engine) step() error {
 func (e *engine) advanceStates() {
 	for i := range e.workers {
 		next := e.cfg.Procs[i].Next()
-		if next != e.workers[i].state {
+		if next != e.states[i] {
 			e.applyState(i, next)
 		}
 	}
+}
+
+// availKey encodes worker i's membership in the availability-derived
+// indexes as a bitmask: bit 0 = UP, bit 1 = UP with a free incoming slot,
+// bit 2 = UP and idle (no begun work). reindexAvail applies the delta
+// between two keys to upSet and the nUp/nFreeUp/nIdleUp counters; every
+// mutation of a worker's state or pipeline occupancy captures the key
+// before and reindexes after, so the counters are exact at all times
+// (recounted by verifyCounters under slow checks).
+func (e *engine) availKey(i int) uint8 {
+	if e.states[i] != avail.Up {
+		return 0
+	}
+	w := &e.workers[i]
+	k := uint8(1)
+	if w.incoming == nil {
+		k |= 2
+		if w.computing == nil {
+			k |= 4
+		}
+	}
+	return k
+}
+
+// reindexAvail reconciles worker i's availability indexes after a mutation,
+// given its pre-mutation key.
+func (e *engine) reindexAvail(i int, was uint8) {
+	now := e.availKey(i)
+	if now == was {
+		return
+	}
+	if d := int(now&1) - int(was&1); d != 0 {
+		e.nUp += d
+		if d > 0 {
+			e.upSet.add(i)
+		} else {
+			e.upSet.remove(i)
+		}
+	}
+	e.nFreeUp += int(now>>1&1) - int(was>>1&1)
+	e.nIdleUp += int(now>>2&1) - int(was>>2&1)
 }
 
 // applyState transitions worker i to next — which callers guarantee differs
@@ -418,6 +480,7 @@ func (e *engine) advanceStates() {
 // transition queue, so the two time bases cannot drift on crash semantics.
 func (e *engine) applyState(i int, next avail.State) {
 	w := &e.workers[i]
+	was := e.availKey(i)
 	e.markDirty(i)
 	if next == avail.Down {
 		e.stats.Crashes++
@@ -428,13 +491,14 @@ func (e *engine) applyState(i int, next avail.State) {
 		}
 		e.dropBuf = w.crash(e.dropBuf[:0])
 		for _, c := range e.dropBuf {
-			e.taskLostCopy(c.task)
+			e.taskLostCopy(c.task, i)
 			e.wasteCopy(c)
 			e.releaseCopy(c)
 		}
 		e.syncChain(i)
 	}
-	w.state = next
+	e.states[i] = next
+	e.reindexAvail(i, was)
 }
 
 // wasteCopy accounts a killed/cancelled copy's sunk work.
@@ -462,23 +526,37 @@ func (e *engine) markDirty(i int) {
 // current pipeline state. It is idempotent; every site that binds, advances,
 // or drops an incoming copy calls it.
 func (e *engine) syncChain(i int) {
-	w := &e.workers[i]
-	want := w.needsTransfer(e.params.Tprog)
-	if want == e.inChain[i] {
-		return
-	}
-	e.inChain[i] = want
-	if want {
-		listInsertSorted(&e.chainHead, e.chainNext, e.chainPrev, i)
+	if e.workers[i].needsTransfer(e.params.Tprog) {
+		e.chainSet.add(i)
 	} else {
-		listRemove(&e.chainHead, e.chainNext, e.chainPrev, i)
+		e.chainSet.remove(i)
 	}
 }
 
-// taskGainedCopy records a new live copy of task t (bind time): the task
-// leaves the pending-originals list (first copy) or moves up one replication
-// bucket (a replica joined).
-func (e *engine) taskGainedCopy(t int) {
+// holdersAdd records that worker w holds a live copy of task t.
+func (e *engine) holdersAdd(t, w int) {
+	e.holders[t] = append(e.holders[t], int32(w))
+}
+
+// holdersRemove drops one record of worker w holding a copy of task t
+// (order within a holder list is irrelevant; the completion pass sorts its
+// snapshot). A missing record is a no-op, keeping the call sites robust to
+// copies dropped through several paths.
+func (e *engine) holdersRemove(t, w int) {
+	hs := e.holders[t]
+	for i, h := range hs {
+		if int(h) == w {
+			hs[i] = hs[len(hs)-1]
+			e.holders[t] = hs[:len(hs)-1]
+			return
+		}
+	}
+}
+
+// taskGainedCopy records a new live copy of task t on worker w (bind time):
+// the task leaves the pending-originals index (first copy) or moves up one
+// replication bucket (a replica joined).
+func (e *engine) taskGainedCopy(t, w int) {
 	ts := &e.tasks[t]
 	if ts.copies == 0 {
 		e.trk.pendRemove(t)
@@ -487,15 +565,17 @@ func (e *engine) taskGainedCopy(t int) {
 	}
 	ts.copies++
 	e.trk.bucketAdd(t, ts.copies)
+	e.holdersAdd(t, w)
 }
 
-// taskLostCopy records the death of one live copy of task t (crash or
-// cancellation). Completed tasks are already out of every index; incomplete
-// ones move down a bucket, or back into the pending list when their last
-// copy died.
-func (e *engine) taskLostCopy(t int) {
+// taskLostCopy records the death of one live copy of task t on worker w
+// (crash or cancellation). Completed tasks are already out of every index;
+// incomplete ones move down a bucket, or back into the pending list when
+// their last copy died.
+func (e *engine) taskLostCopy(t, w int) {
 	ts := &e.tasks[t]
 	ts.copies--
+	e.holdersRemove(t, w)
 	if ts.completed {
 		return
 	}
@@ -551,12 +631,13 @@ func (e *engine) scheduleRound() error {
 						e.cfg.Scheduler.Name(), q)
 				}
 				w := &e.workers[q]
+				was := e.availKey(q)
 				if w.busy() {
 					e.nBusy--
 				}
 				e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
 				for _, dropped := range e.dropBuf {
-					e.taskLostCopy(dropped.task)
+					e.taskLostCopy(dropped.task, q)
 					e.wasteCopy(dropped)
 					e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: q,
 						Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
@@ -564,6 +645,7 @@ func (e *engine) scheduleRound() error {
 					e.markDirty(q)
 				}
 				e.syncChain(q)
+				e.reindexAvail(q, was)
 			}
 			e.buildView() // cancellations changed pipeline state
 		}
@@ -584,16 +666,13 @@ func (e *engine) scheduleRound() error {
 	if e.slowChecks {
 		e.verifyRoundSetup()
 	}
-	up := e.eligible[:0]
 	rs := &e.rs
 	rs.NActive = e.nBusy
 	rs.Picks = 0
 	e.replicaPick = false
-	for i := range e.workers {
-		if e.workers[i].state == avail.Up {
-			up = append(up, i)
-		}
-	}
+	// The UP index yields the slate in ascending worker order — identical to
+	// the full scan it replaced — in O(nUp), not O(P).
+	up := e.upSet.appendTo(e.eligible[:0])
 	e.eligible = up
 	if len(up) == 0 {
 		return nil
@@ -607,7 +686,7 @@ func (e *engine) scheduleRound() error {
 		e.verifyPending()
 	}
 	plannedCopies := e.plannedCopies
-	for t := e.trk.pendHead; t != noTask; t = e.trk.pendNext[t] {
+	for t := e.trk.pendFirst(); t != noTask; t = e.trk.pendAfter(t) {
 		ti := TaskInfo{Task: t, Replica: false, Copies: 0}
 		pick := e.cfg.Scheduler.Pick(&e.view, up, rs, ti)
 		if pick == Decline {
@@ -692,7 +771,7 @@ func (e *engine) scheduleRound() error {
 func (e *engine) notePick(rs *RoundState, pick int) error {
 	if pick < 0 || pick >= len(e.workers) ||
 		(e.replicaPick && e.eligStamp[pick] != e.eligEpoch) ||
-		(!e.replicaPick && e.workers[pick].state != avail.Up) {
+		(!e.replicaPick && e.states[pick] != avail.Up) {
 		return fmt.Errorf("sim: scheduler %q picked ineligible processor %d",
 			e.cfg.Scheduler.Name(), pick)
 	}
@@ -739,7 +818,7 @@ func (e *engine) fillProcView(i int, pv *ProcView) {
 	pv.W = w.proc.W
 	pv.Model = w.proc.Avail
 	pv.Analytics = w.analytics
-	pv.State = w.state
+	pv.State = e.states[i]
 	pv.RemProgram = w.remProgram(e.params.Tprog)
 	pv.HasComputing = w.computing != nil
 	pv.HasIncoming = w.incoming != nil
@@ -764,23 +843,23 @@ func (e *engine) allocateChannels() int {
 	tprog, tdata := e.params.Tprog, e.params.Tdata
 
 	// Continuations: bound chains on UP workers needing slots, originals
-	// (ascending worker) before replicas (ascending worker). The chain list
-	// holds exactly the workers with incomplete bound chains in ascending
-	// order, so two passes over it build that order directly — no sort, no
-	// full worker scan, each worker holds at most one chain.
+	// (ascending worker) before replicas (ascending worker). The chain index
+	// holds exactly the workers with incomplete bound chains, iterated in
+	// ascending order, so two passes over it build that order directly — no
+	// sort, no full worker scan, each worker holds at most one chain.
 	if e.slowChecks {
 		e.verifyChains()
 	}
 	conts := e.conts[:0]
-	for i := e.chainHead; i != noWorker; i = e.chainNext[i] {
+	for i := e.chainSet.min(); i != noWorker; i = e.chainSet.next(i) {
 		w := &e.workers[i]
-		if w.state == avail.Up && w.incoming.replica == 0 {
+		if e.states[i] == avail.Up && w.incoming.replica == 0 {
 			conts = append(conts, contRec{worker: i, replica: 0, task: w.incoming.task})
 		}
 	}
-	for i := e.chainHead; i != noWorker; i = e.chainNext[i] {
+	for i := e.chainSet.min(); i != noWorker; i = e.chainSet.next(i) {
 		w := &e.workers[i]
-		if w.state == avail.Up && w.incoming.replica != 0 {
+		if e.states[i] == avail.Up && w.incoming.replica != 0 {
 			conts = append(conts, contRec{worker: i, replica: w.incoming.replica, task: w.incoming.task})
 		}
 	}
@@ -804,7 +883,7 @@ func (e *engine) allocateChannels() int {
 	// New materializations, in plan order (originals were planned first).
 	for _, pl := range e.plans {
 		w := &e.workers[pl.worker]
-		if w.state != avail.Up || w.incoming != nil {
+		if e.states[pl.worker] != avail.Up || w.incoming != nil {
 			continue // pipeline occupied (an earlier plan took the slot)
 		}
 		if w.computing != nil && pl.replica == 0 && w.computing.task == pl.task {
@@ -841,6 +920,7 @@ func (e *engine) allocateChannels() int {
 
 // bindCopy attaches a planned copy to a worker and updates bookkeeping.
 func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
+	was := e.availKey(pl.worker)
 	if w.computing == nil { // incoming is nil (caller-checked): idle -> busy
 		e.nBusy++
 	}
@@ -850,7 +930,8 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 		replica = e.nextReplica[pl.task]
 	}
 	w.incoming = e.newCopy(pl.task, replica)
-	e.taskGainedCopy(pl.task)
+	e.taskGainedCopy(pl.task, pl.worker)
+	e.reindexAvail(pl.worker, was)
 	e.markDirty(pl.worker)
 	e.stats.CopiesStarted++
 	kind := EvDataStart
@@ -869,9 +950,11 @@ func (e *engine) bindCopy(w *workerState, pl plannedAssignment) {
 func (e *engine) compute() int {
 	computing := 0
 	e.finishers = e.finishers[:0]
-	for i := range e.workers {
+	// Only UP workers can compute: walk the UP index (ascending, like the
+	// full scan) instead of all P workers.
+	for i := e.upSet.min(); i != noWorker; i = e.upSet.next(i) {
 		w := &e.workers[i]
-		if w.state != avail.Up || w.computing == nil || !w.hasProgram(e.params.Tprog) {
+		if w.computing == nil || !w.hasProgram(e.params.Tprog) {
 			continue
 		}
 		if w.computing.computeDone == 0 {
@@ -902,13 +985,16 @@ func (e *engine) finishSlot() {
 		if c == nil || c.computeDone < w.proc.W {
 			continue
 		}
+		was := e.availKey(i)
 		w.computing = nil
 		if w.incoming == nil {
 			e.nBusy--
 		}
+		e.reindexAvail(i, was)
 		e.markDirty(i)
 		ts := &e.tasks[c.task]
 		ts.copies--
+		e.holdersRemove(c.task, i)
 		if ts.completed {
 			// A sibling copy finished earlier in this same loop; this work
 			// is redundant.
@@ -922,14 +1008,28 @@ func (e *engine) finishSlot() {
 		e.stats.TasksCompleted++
 		e.emit(Event{Slot: e.slot, Kind: EvTaskComplete, Worker: w.proc.ID,
 			Task: c.task, Replica: c.replica, Iteration: e.iter})
-		// Cancel all other live copies of this task. The task is completed,
-		// so the drops only adjust the raw copy count — it is already out of
-		// every scheduler index.
-		for j := range e.workers {
-			if j == i {
-				continue
+		// Cancel all other live copies of this task — exactly the recorded
+		// holders (at most copyCap workers), not a scan of all P. The task is
+		// completed, so the drops only adjust the raw copy count — it is
+		// already out of every scheduler index. Snapshot and sort the holders
+		// ascending so the cancellation events keep the full scan's worker
+		// order (insertion sort: the list has at most MaxReplicas entries).
+		hs := e.holderScratch[:0]
+		for _, h := range e.holders[c.task] {
+			if int(h) != i {
+				hs = append(hs, h)
 			}
+		}
+		for a := 1; a < len(hs); a++ {
+			for b := a; b > 0 && hs[b] < hs[b-1]; b-- {
+				hs[b], hs[b-1] = hs[b-1], hs[b]
+			}
+		}
+		e.holderScratch = hs
+		for _, h := range hs {
+			j := int(h)
 			other := &e.workers[j]
+			wasKey := e.availKey(j)
 			wasBusy := other.busy()
 			e.dropBuf = other.dropCopiesOf(c.task, e.dropBuf[:0])
 			if wasBusy && !other.busy() {
@@ -937,6 +1037,7 @@ func (e *engine) finishSlot() {
 			}
 			for _, dropped := range e.dropBuf {
 				ts.copies--
+				e.holdersRemove(c.task, j)
 				e.markDirty(j)
 				e.wasteCopy(dropped)
 				e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: other.proc.ID,
@@ -944,6 +1045,7 @@ func (e *engine) finishSlot() {
 				e.releaseCopy(dropped)
 				e.syncChain(j)
 			}
+			e.reindexAvail(j, wasKey)
 		}
 		e.releaseCopy(c)
 	}
@@ -956,7 +1058,10 @@ func (e *engine) finishSlot() {
 	// mark sites haven't already flagged, and the dirty set is only
 	// consumed at the next buildView.
 	for _, i := range e.dirtyProcs {
-		e.workers[i].promote()
+		was := e.availKey(i)
+		if e.workers[i].promote() {
+			e.reindexAvail(i, was)
+		}
 	}
 	if e.slowChecks {
 		e.verifyPipelines()
@@ -978,21 +1083,31 @@ func (e *engine) finishSlot() {
 		e.tasks[t] = taskState{}
 		e.nextReplica[t] = 0
 	}
-	for i := range e.workers {
-		w := &e.workers[i]
-		e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
-		if len(e.dropBuf) == 0 {
-			continue
+	// Every completion already cancelled its sibling copies, so by the time
+	// the last task completes no worker holds any copy and nBusy is zero:
+	// the barrier drop scan below has nothing to do and is skipped — the
+	// barrier costs O(1), not O(P). The scan is kept as a defensive path
+	// (and exercised as dead code by the slow checks, which recount nBusy).
+	if e.nBusy > 0 {
+		for i := range e.workers {
+			w := &e.workers[i]
+			was := e.availKey(i)
+			e.dropBuf = w.dropAllCopies(e.dropBuf[:0])
+			if len(e.dropBuf) == 0 {
+				continue
+			}
+			e.nBusy-- // held at least one copy, now holds none
+			for _, dropped := range e.dropBuf {
+				e.holdersRemove(dropped.task, i)
+				e.markDirty(i)
+				e.wasteCopy(dropped)
+				e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: w.proc.ID,
+					Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
+				e.releaseCopy(dropped)
+			}
+			e.syncChain(i)
+			e.reindexAvail(i, was)
 		}
-		e.nBusy-- // held at least one copy, now holds none
-		for _, dropped := range e.dropBuf {
-			e.markDirty(i)
-			e.wasteCopy(dropped)
-			e.emit(Event{Slot: e.slot, Kind: EvCopyCancelled, Worker: w.proc.ID,
-				Task: dropped.task, Replica: dropped.replica, Iteration: e.iter})
-			e.releaseCopy(dropped)
-		}
-		e.syncChain(i)
 	}
 	e.trk.reset(len(e.tasks), 1+e.params.MaxReplicas)
 }

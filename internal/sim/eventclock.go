@@ -98,9 +98,15 @@ func (h *transitionHeap) pop() (slot, worker int) {
 }
 
 // initEventClock sizes and fills the event clock after reset: one
-// trajectory per worker, with its slot-0 state queued as the first
-// transition. Config.validate has already checked every process implements
-// avail.Trajectory.
+// trajectory per worker, its slot-0 state applied directly and its first
+// real transition queued. Applying slot 0 here — in ascending worker order,
+// the same order the queue would drain a slot-0 tie — keeps the heap free
+// of the initial P-way tie, and workers whose slot-0 state holds Forever
+// (a permanently-down volunteer, a recorded vector past its end) never
+// enter the queue at all. That makes priming O(P) with per-worker O(1)
+// instead of the O(P log P) push-pop churn a 100k-worker platform paid on
+// its first slot. Config.validate has already checked every process
+// implements avail.Trajectory.
 func (e *engine) initEventClock() error {
 	p := len(e.workers)
 	if cap(e.trajs) < p {
@@ -117,8 +123,18 @@ func (e *engine) initEventClock() error {
 		if at != 0 {
 			return fmt.Errorf("sim: availability trajectory %d: first transition at slot %d, want 0", i, at)
 		}
-		e.pendState[i] = s
-		e.evq.push(0, i)
+		if s != e.states[i] {
+			e.applyState(i, s)
+		}
+		ns, nat := tr.NextTransition()
+		if nat == avail.Forever {
+			continue // the worker's slot-0 state holds for the whole run
+		}
+		if nat <= 0 {
+			return fmt.Errorf("sim: availability trajectory %d: transition slot %d not after 0", i, nat)
+		}
+		e.pendState[i] = ns
+		e.evq.push(nat, i)
 	}
 	_, canceller := e.cfg.Scheduler.(Canceller)
 	e.skipQuiet = !canceller
@@ -138,7 +154,7 @@ func (e *engine) advanceStatesEvent() error {
 		}
 		_, i := e.evq.pop()
 		next := e.pendState[i]
-		if next != e.workers[i].state {
+		if next != e.states[i] {
 			e.applyState(i, next)
 		}
 		ns, nat := e.trajs[i].NextTransition()
@@ -181,13 +197,13 @@ func (e *engine) nextSlot(maxSlots int) int {
 	// yet emits EvComputeStart next slot — both force slot-by-slot
 	// execution. Running computations instead bound the jump by their
 	// completion slot: the slot a copy finishes must execute normally.
+	// Only UP workers matter here (a RECLAIMED chain neither advances nor
+	// computes), so the walk covers the UP index — O(nUp), independent of
+	// the platform size once most of a volunteer grid is DOWN.
 	tprog := e.params.Tprog
 	computing := 0
-	for i := range e.workers {
+	for i := e.upSet.min(); i != noWorker; i = e.upSet.next(i) {
 		w := &e.workers[i]
-		if w.state != avail.Up {
-			continue
-		}
 		if w.needsTransfer(tprog) {
 			return e.slot + 1
 		}
@@ -215,9 +231,9 @@ func (e *engine) nextSlot(maxSlots int) int {
 	// slot-by-slot execution would leave them.
 	if computing > 0 {
 		delta := target - e.slot - 1
-		for i := range e.workers {
+		for i := e.upSet.min(); i != noWorker; i = e.upSet.next(i) {
 			w := &e.workers[i]
-			if w.state == avail.Up && w.computing != nil && w.hasProgram(tprog) {
+			if w.computing != nil && w.hasProgram(tprog) {
 				w.computing.computeDone += delta
 				e.markDirty(i)
 			}
@@ -246,25 +262,17 @@ func (e *engine) nextSlot(maxSlots int) int {
 // Channel capacity never blocks a quiet slot's binding: a chain on an UP
 // worker would have advanced and dirtied the slot, so all Ncom >= 1
 // channels are free.
+//
+// Every input is an incrementally maintained counter (reindexAvail) or an
+// O(copyCap) bucket probe, so the check is O(1) in both P and m — it used
+// to rescan all P workers on every quiet-skip attempt, which made skipping
+// itself an O(P) per-slot cost (the verifySkip slow check still recounts
+// the counters against raw state).
 func (e *engine) canMaterialize() bool {
-	up, idle, freeUp := 0, 0, false
-	for i := range e.workers {
-		w := &e.workers[i]
-		if w.state != avail.Up {
-			continue
-		}
-		up++
-		if w.incoming == nil {
-			freeUp = true
-		}
-		if !w.busy() {
-			idle++
-		}
+	if !e.trk.pendEmpty() {
+		return e.nFreeUp > 0
 	}
-	if e.trk.pendHead != noTask {
-		return freeUp
-	}
-	if e.params.MaxReplicas == 0 || idle == 0 || up <= e.trk.remaining {
+	if e.params.MaxReplicas == 0 || e.nIdleUp == 0 || e.nUp <= e.trk.remaining {
 		return false
 	}
 	t, _ := e.trk.leastCovered(1 + e.params.MaxReplicas)
@@ -278,15 +286,9 @@ func (e *engine) canMaterialize() bool {
 // replayed reports are identical to what slot-by-slot execution would
 // emit.
 func (e *engine) reportQuietSpan(from, to, computing int) {
-	up := 0
-	for i := range e.workers {
-		if e.workers[i].state == avail.Up {
-			up++
-		}
-	}
 	rep := SlotReport{
 		Iteration:        e.iter,
-		UpWorkers:        up,
+		UpWorkers:        e.nUp,
 		ComputingWorkers: computing,
 		TasksCompleted:   e.stats.TasksCompleted,
 	}

@@ -72,49 +72,97 @@ func (e *engine) verifyView() {
 	e.prevValid = true
 }
 
-// verifyPending checks that the pending-originals list holds exactly the
+// verifyPending checks that the pending-originals index holds exactly the
 // incomplete zero-copy tasks, in ascending order — the set and order the
 // pre-incremental originals loop produced by scanning the whole task table.
 func (e *engine) verifyPending() {
-	got := e.trk.pendHead
+	got := e.trk.pendFirst()
 	for want := range e.tasks {
 		if e.tasks[want].completed || e.tasks[want].copies > 0 {
 			continue
 		}
 		if got != want {
-			panic(fmt.Sprintf("sim: slot %d: pending list yields task %d, full scan expects %d",
+			panic(fmt.Sprintf("sim: slot %d: pending index yields task %d, full scan expects %d",
 				e.slot, got, want))
 		}
-		got = e.trk.pendNext[got]
+		got = e.trk.pendAfter(got)
 	}
 	if got != noTask {
-		panic(fmt.Sprintf("sim: slot %d: pending list has extra task %d past the full scan",
+		panic(fmt.Sprintf("sim: slot %d: pending index has extra task %d past the full scan",
 			e.slot, got))
 	}
 }
 
-// verifyChains checks the bound-chain list against a full worker scan: it
+// verifyChains checks the bound-chain index against a full worker scan: it
 // must hold exactly the workers whose incoming copy still needs transfer
-// slots, in ascending worker order.
+// slots, iterated in ascending worker order.
 func (e *engine) verifyChains() {
-	got := e.chainHead
+	got := e.chainSet.min()
 	for want := range e.workers {
 		if !e.workers[want].needsTransfer(e.params.Tprog) {
-			if e.inChain[want] {
-				panic(fmt.Sprintf("sim: slot %d: worker %d in chain list without an incomplete chain",
+			if e.chainSet.contains(want) {
+				panic(fmt.Sprintf("sim: slot %d: worker %d in chain index without an incomplete chain",
 					e.slot, want))
 			}
 			continue
 		}
 		if got != want {
-			panic(fmt.Sprintf("sim: slot %d: chain list yields worker %d, full scan expects %d",
+			panic(fmt.Sprintf("sim: slot %d: chain index yields worker %d, full scan expects %d",
 				e.slot, got, want))
 		}
-		got = e.chainNext[got]
+		got = e.chainSet.next(got)
 	}
 	if got != noWorker {
-		panic(fmt.Sprintf("sim: slot %d: chain list has extra worker %d past the full scan",
+		panic(fmt.Sprintf("sim: slot %d: chain index has extra worker %d past the full scan",
 			e.slot, got))
+	}
+}
+
+// verifyCounters recounts every availability-derived index against the raw
+// engine tables: the UP set and the nUp/nFreeUp/nIdleUp counters
+// (reindexAvail's bookkeeping, consumed by the slate build, canMaterialize,
+// reportQuietSpan and the per-slot Observer), and the per-task holder lists
+// (the completion pass's sibling index). Any drift means a mutation site
+// skipped its availKey/reindexAvail wrap or a holder update.
+func (e *engine) verifyCounters() {
+	up, freeUp, idleUp := 0, 0, 0
+	for i := range e.workers {
+		w := &e.workers[i]
+		isUp := e.states[i] == avail.Up
+		if e.upSet.contains(i) != isUp {
+			panic(fmt.Sprintf("sim: slot %d: upSet.contains(%d) = %v, state %v",
+				e.slot, i, e.upSet.contains(i), e.states[i]))
+		}
+		if !isUp {
+			continue
+		}
+		up++
+		if w.incoming == nil {
+			freeUp++
+			if w.computing == nil {
+				idleUp++
+			}
+		}
+	}
+	if up != e.nUp || freeUp != e.nFreeUp || idleUp != e.nIdleUp {
+		panic(fmt.Sprintf("sim: slot %d: incremental counters up=%d free=%d idle=%d, full recount up=%d free=%d idle=%d",
+			e.slot, e.nUp, e.nFreeUp, e.nIdleUp, up, freeUp, idleUp))
+	}
+	for t := range e.tasks {
+		hs := e.holders[t]
+		if len(hs) != e.tasks[t].copies {
+			panic(fmt.Sprintf("sim: slot %d: task %d has %d holders recorded, %d live copies",
+				e.slot, t, len(hs), e.tasks[t].copies))
+		}
+		for _, h := range hs {
+			w := &e.workers[int(h)]
+			holds := (w.computing != nil && w.computing.task == t) ||
+				(w.incoming != nil && w.incoming.task == t)
+			if !holds {
+				panic(fmt.Sprintf("sim: slot %d: worker %d recorded as holder of task %d but holds no copy of it",
+					e.slot, h, t))
+			}
+		}
 	}
 }
 
@@ -141,6 +189,7 @@ func (e *engine) verifyPipelines() {
 // (n_active's base) and the all-zero NQ queues schedule restores in
 // O(plans) instead of a per-round O(P) wipe.
 func (e *engine) verifyRoundSetup() {
+	e.verifyCounters()
 	busy := 0
 	for i := range e.workers {
 		if e.workers[i].busy() {
@@ -185,6 +234,7 @@ func (e *engine) verifyLeastCovered(got, gotCopies, copyCap int) {
 // from the task table must agree nothing can bind, and every queued
 // availability transition must lie at or beyond the jump target.
 func (e *engine) verifySkip(target int) {
+	e.verifyCounters()
 	copyCap := 1 + e.params.MaxReplicas
 	pending, replicable, remaining := false, false, 0
 	for t := range e.tasks {
@@ -202,7 +252,7 @@ func (e *engine) verifySkip(target int) {
 	up, idle, freeUp := 0, 0, false
 	for i := range e.workers {
 		w := &e.workers[i]
-		if w.state != avail.Up {
+		if e.states[i] != avail.Up {
 			continue
 		}
 		up++

@@ -1,0 +1,169 @@
+package sim
+
+import "math/bits"
+
+// idSet is a two-level hierarchical bitset over the IDs [0, n): level 0 is
+// one bit per ID, level 1 summarizes which level-0 words are non-empty. It
+// replaces the engine's intrusive sorted linked lists (pending originals,
+// replication buckets, bound chains) and backs the UP-worker index:
+//
+//   - add / remove / contains are O(1);
+//   - min and next (ascending successor) are O(1) word scans plus a summary
+//     hop, so full ascending iteration costs O(members + n/4096) — never a
+//     positional walk like listInsertSorted's, which degraded toward O(n)
+//     per mutation at volunteer-grid scale;
+//   - iteration order is exactly ascending ID, preserving the (fewest
+//     copies, lowest ID) and ascending-worker contracts the golden digests
+//     pin.
+//
+// The zero value is an empty set over an empty universe; reset sizes it.
+// All storage is reused across resets, so steady-state maintenance
+// allocates nothing.
+type idSet struct {
+	words []uint64 // level 0: bit i%64 of words[i/64] <=> i is a member
+	sum   []uint64 // level 1: bit w%64 of sum[w/64] <=> words[w] != 0
+	n     int      // universe size
+	count int
+}
+
+// reset clears the set and sizes it for the IDs [0, n).
+func (s *idSet) reset(n int) {
+	nw := (n + 63) >> 6
+	ns := (nw + 63) >> 6
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+		s.sum = make([]uint64, ns)
+	}
+	s.words = s.words[:nw]
+	s.sum = s.sum[:ns]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	for i := range s.sum {
+		s.sum[i] = 0
+	}
+	s.n = n
+	s.count = 0
+}
+
+// fill resets the set to hold every ID in [0, n).
+func (s *idSet) fill(n int) {
+	s.reset(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := uint(n & 63); r != 0 {
+		s.words[len(s.words)-1] = (uint64(1) << r) - 1
+	}
+	for w := range s.words {
+		s.sum[w>>6] |= 1 << uint(w&63)
+	}
+	s.count = n
+}
+
+// add inserts id; inserting a member is a no-op.
+func (s *idSet) add(id int) {
+	w, b := id>>6, uint64(1)<<uint(id&63)
+	if s.words[w]&b != 0 {
+		return
+	}
+	if s.words[w] == 0 {
+		s.sum[w>>6] |= 1 << uint(w&63)
+	}
+	s.words[w] |= b
+	s.count++
+}
+
+// remove deletes id; deleting a non-member is a no-op.
+func (s *idSet) remove(id int) {
+	w, b := id>>6, uint64(1)<<uint(id&63)
+	if s.words[w]&b == 0 {
+		return
+	}
+	s.words[w] &^= b
+	if s.words[w] == 0 {
+		s.sum[w>>6] &^= 1 << uint(w&63)
+	}
+	s.count--
+}
+
+// contains reports membership.
+func (s *idSet) contains(id int) bool {
+	return s.words[id>>6]&(1<<uint(id&63)) != 0
+}
+
+// empty reports whether the set has no members.
+func (s *idSet) empty() bool { return s.count == 0 }
+
+// size returns the number of members.
+func (s *idSet) size() int { return s.count }
+
+// min returns the smallest member, or -1 (noTask / noWorker) when empty.
+func (s *idSet) min() int {
+	if s.count == 0 {
+		return -1
+	}
+	return s.from(0)
+}
+
+// next returns the smallest member strictly greater than id, or -1.
+func (s *idSet) next(id int) int {
+	id++
+	if id >= s.n {
+		return -1
+	}
+	w := id >> 6
+	if rest := s.words[w] >> uint(id&63); rest != 0 {
+		return id + bits.TrailingZeros64(rest)
+	}
+	return s.fromWord(w + 1)
+}
+
+// from returns the smallest member >= id, or -1.
+func (s *idSet) from(id int) int {
+	if id >= s.n {
+		return -1
+	}
+	w := id >> 6
+	if rest := s.words[w] >> uint(id&63); rest != 0 {
+		return id + bits.TrailingZeros64(rest)
+	}
+	return s.fromWord(w + 1)
+}
+
+// fromWord returns the smallest member in words[w:], located through the
+// summary level, or -1.
+func (s *idSet) fromWord(w int) int {
+	if w >= len(s.words) {
+		return -1
+	}
+	sw := w >> 6
+	if rest := s.sum[sw] >> uint(w&63); rest != 0 {
+		w += bits.TrailingZeros64(rest)
+		return w<<6 + bits.TrailingZeros64(s.words[w])
+	}
+	for sw++; sw < len(s.sum); sw++ {
+		if s.sum[sw] != 0 {
+			w = sw<<6 + bits.TrailingZeros64(s.sum[sw])
+			return w<<6 + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// appendTo appends the members in ascending order to dst and returns it.
+func (s *idSet) appendTo(dst []int) []int {
+	for sw, sword := range s.sum {
+		for sword != 0 {
+			w := sw<<6 + bits.TrailingZeros64(sword)
+			sword &= sword - 1
+			word := s.words[w]
+			base := w << 6
+			for word != 0 {
+				dst = append(dst, base+bits.TrailingZeros64(word))
+				word &= word - 1
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// verifyIdSet checks every query of s against the reference membership map.
+func verifyIdSet(t *testing.T, s *idSet, ref map[int]bool, n int) {
+	t.Helper()
+	want := make([]int, 0, len(ref))
+	for id := 0; id < n; id++ {
+		if ref[id] {
+			want = append(want, id)
+		}
+	}
+	if s.size() != len(want) {
+		t.Fatalf("size: got %d, want %d", s.size(), len(want))
+	}
+	if s.empty() != (len(want) == 0) {
+		t.Fatalf("empty: got %v with %d members", s.empty(), len(want))
+	}
+	got := s.appendTo(nil)
+	if len(got) != len(want) {
+		t.Fatalf("appendTo: got %d members, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("appendTo[%d]: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	// min/next agree with the sorted member list.
+	wantMin := -1
+	if len(want) > 0 {
+		wantMin = want[0]
+	}
+	if m := s.min(); m != wantMin {
+		t.Fatalf("min: got %d, want %d", m, wantMin)
+	}
+	iter := make([]int, 0, len(want))
+	for id := s.min(); id != -1; id = s.next(id) {
+		iter = append(iter, id)
+		if len(iter) > len(want) {
+			t.Fatalf("min/next iteration exceeded %d members", len(want))
+		}
+	}
+	for i := range iter {
+		if iter[i] != want[i] {
+			t.Fatalf("min/next[%d]: got %d, want %d", i, iter[i], want[i])
+		}
+	}
+	if len(iter) != len(want) {
+		t.Fatalf("min/next yielded %d members, want %d", len(iter), len(want))
+	}
+}
+
+// TestIdSetMatchesReference drives random add/remove sequences over several
+// universe sizes (including word and summary boundaries and a 10k universe)
+// and verifies membership, count, ascending iteration and min/next against a
+// map+sort reference.
+func TestIdSetMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 129, 4095, 4096, 4097, 10_000} {
+		r := rand.New(rand.NewSource(int64(n)))
+		var s idSet
+		s.reset(n)
+		ref := make(map[int]bool)
+		ops := 2000
+		if n > 1000 {
+			ops = 300 // verification is O(n); keep the big universes affordable
+		}
+		for op := 0; op < ops; op++ {
+			id := r.Intn(n)
+			switch r.Intn(4) {
+			case 0, 1:
+				s.add(id)
+				ref[id] = true
+			case 2:
+				s.remove(id)
+				delete(ref, id)
+			case 3: // idempotence: double add / double remove
+				s.add(id)
+				s.add(id)
+				ref[id] = true
+			}
+			if want := ref[id]; s.contains(id) != want {
+				t.Fatalf("n=%d: contains(%d) = %v, want %v", n, id, s.contains(id), want)
+			}
+			if op%97 == 0 || op == ops-1 {
+				verifyIdSet(t, &s, ref, n)
+			}
+		}
+		// fill then drain.
+		s.fill(n)
+		for id := 0; id < n; id++ {
+			ref[id] = true
+		}
+		verifyIdSet(t, &s, ref, n)
+		for id := 0; id < n; id += 2 {
+			s.remove(id)
+			delete(ref, id)
+		}
+		verifyIdSet(t, &s, ref, n)
+		// reset reuses storage and clears.
+		s.reset(n)
+		verifyIdSet(t, &s, map[int]bool{}, n)
+	}
+}
+
+// TestIdSetSparseLargeUniverse pins the volunteer-grid access pattern: a few
+// members spread across a 100k universe, iterated often. Ascending iteration
+// must visit exactly the members, and next must hop empty summary blocks.
+func TestIdSetSparseLargeUniverse(t *testing.T) {
+	const n = 100_000
+	var s idSet
+	s.reset(n)
+	members := []int{0, 1, 63, 64, 4095, 4096, 50_000, 99_998, 99_999}
+	for _, id := range members {
+		s.add(id)
+	}
+	got := s.appendTo(nil)
+	if len(got) != len(members) {
+		t.Fatalf("got %d members, want %d", len(got), len(members))
+	}
+	for i, id := range got {
+		if id != members[i] {
+			t.Fatalf("member[%d] = %d, want %d", i, id, members[i])
+		}
+	}
+	i := 0
+	for id := s.min(); id != -1; id = s.next(id) {
+		if id != members[i] {
+			t.Fatalf("iteration[%d] = %d, want %d", i, id, members[i])
+		}
+		i++
+	}
+	if i != len(members) {
+		t.Fatalf("iterated %d members, want %d", i, len(members))
+	}
+	if got := s.from(65); got != 4095 {
+		t.Fatalf("from(65) = %d, want 4095", got)
+	}
+	if got := s.next(50_000); got != 99_998 {
+		t.Fatalf("next(50000) = %d, want 99998", got)
+	}
+	if got := s.next(99_999); got != -1 {
+		t.Fatalf("next(99999) = %d, want -1", got)
+	}
+}

@@ -7,7 +7,7 @@ package sim
 // (bind, completion, crash, cancellation, barrier), so a slot pays in
 // proportion to what actually changed.
 
-// noTask marks an absent link / empty list head.
+// noTask marks an absent task (empty index, unbucketed).
 const noTask = -1
 
 // taskTracker indexes the task table for the scheduler round:
@@ -15,121 +15,79 @@ const noTask = -1
 //   - remaining is the number of incomplete tasks (View.TasksRemaining),
 //     decremented at completion instead of recounted per slot. It also makes
 //     the iteration-barrier check O(1).
-//   - The pending list is a doubly-linked list, sorted by ascending task ID,
-//     of the unbegun originals — incomplete tasks with no live copy — which
-//     is exactly the set the originals loop plans for.
+//   - pending holds the unbegun originals — incomplete tasks with no live
+//     copy — which is exactly the set the originals loop plans for, iterated
+//     in ascending task order.
 //   - The replication buckets hold the incomplete tasks with >= 1 live copy
 //     (plus, during a round, this round's planned copies), bucketed by copy
-//     count; each bucket is a sorted doubly-linked list. The least-covered
-//     pick is the head of the first non-empty bucket: O(copyCap) instead of
-//     an O(m) scan per pick, with the reference scan's (fewest copies,
-//     lowest ID) order preserved exactly.
+//     count. The least-covered pick is the minimum of the first non-empty
+//     bucket: O(copyCap) bucket probes, with the reference scan's (fewest
+//     copies, lowest ID) order preserved exactly.
 //
-// All links are intrusive arrays indexed by task ID, so steady-state
-// maintenance allocates nothing. Insertions walk to their sorted position;
-// buckets and the mid-iteration pending list stay small (bounded by the live
-// copies, not by m), so the walks are short in practice.
+// Every index is a hierarchical bitset (idSet), so membership updates are
+// O(1) and ascending iteration is O(members) — an earlier revision used
+// intrusive sorted linked lists, whose insertions walked to their positions
+// and degraded toward O(m) per mutation at volunteer-grid scale (pinned by
+// BenchmarkTrackerPendingChurn and the order-equivalence property tests in
+// tracking_test.go). Steady-state maintenance allocates nothing.
 type taskTracker struct {
 	remaining int
 
-	pendHead int
-	pendNext []int
-	pendPrev []int
+	pending idSet
 
 	// bucketOf[t] is t's current bucket (its copy count, live + any round
 	// overlay), or noTask when it is in none.
-	bucketOf   []int
-	bucketHead []int
-	bktNext    []int
-	bktPrev    []int
+	bucketOf []int
+	buckets  []idSet
 }
 
 // reset re-indexes a fresh iteration: all m tasks incomplete and pending, no
 // bucket occupied. Buffers are grown once and reused afterwards.
 func (k *taskTracker) reset(m, copyCap int) {
-	if cap(k.pendNext) < m {
-		k.pendNext = make([]int, m)
-		k.pendPrev = make([]int, m)
+	if cap(k.bucketOf) < m {
 		k.bucketOf = make([]int, m)
-		k.bktNext = make([]int, m)
-		k.bktPrev = make([]int, m)
 	}
-	k.pendNext = k.pendNext[:m]
-	k.pendPrev = k.pendPrev[:m]
 	k.bucketOf = k.bucketOf[:m]
-	k.bktNext = k.bktNext[:m]
-	k.bktPrev = k.bktPrev[:m]
-	if cap(k.bucketHead) < copyCap+1 {
-		k.bucketHead = make([]int, copyCap+1)
+	// Buckets 1..copyCap are used (a gain or overlay can re-key a task up to
+	// the cap); index 0 stays empty.
+	if len(k.buckets) < copyCap+1 {
+		k.buckets = append(k.buckets, make([]idSet, copyCap+1-len(k.buckets))...)
 	}
-	k.bucketHead = k.bucketHead[:copyCap+1]
-	for c := range k.bucketHead {
-		k.bucketHead[c] = noTask
+	for c := 1; c <= copyCap; c++ {
+		k.buckets[c].reset(m)
 	}
+	k.pending.fill(m)
 	k.remaining = m
 	for t := 0; t < m; t++ {
-		k.pendNext[t] = t + 1
-		k.pendPrev[t] = t - 1
 		k.bucketOf[t] = noTask
 	}
-	k.pendNext[m-1] = noTask
-	k.pendHead = 0
 }
 
-// listInsertSorted links id into the sorted intrusive doubly-linked list
-// described by (head, next, prev), walking from the head to its ascending
-// position. Shared by the pending list, the replication buckets, and the
-// engine's bound-chain list.
-func listInsertSorted(head *int, next, prev []int, id int) {
-	p, n := noTask, *head
-	for n != noTask && n < id {
-		p, n = n, next[n]
-	}
-	next[id], prev[id] = n, p
-	if p == noTask {
-		*head = id
-	} else {
-		next[p] = id
-	}
-	if n != noTask {
-		prev[n] = id
-	}
-}
+// pendFirst returns the lowest pending task ID, or noTask.
+func (k *taskTracker) pendFirst() int { return k.pending.min() }
 
-// listRemove unlinks id from the list described by (head, next, prev).
-func listRemove(head *int, next, prev []int, id int) {
-	p, n := prev[id], next[id]
-	if p == noTask {
-		*head = n
-	} else {
-		next[p] = n
-	}
-	if n != noTask {
-		prev[n] = p
-	}
-}
+// pendAfter returns the lowest pending task ID greater than t, or noTask.
+func (k *taskTracker) pendAfter(t int) int { return k.pending.next(t) }
 
-// pendRemove unlinks t from the pending list.
-func (k *taskTracker) pendRemove(t int) {
-	listRemove(&k.pendHead, k.pendNext, k.pendPrev, t)
-}
+// pendEmpty reports whether no original is pending.
+func (k *taskTracker) pendEmpty() bool { return k.pending.empty() }
 
-// pendInsert links t back into the pending list at its sorted position
-// (a task whose last copy crashed or was cancelled becomes an unbegun
-// original again).
-func (k *taskTracker) pendInsert(t int) {
-	listInsertSorted(&k.pendHead, k.pendNext, k.pendPrev, t)
-}
+// pendRemove removes t from the pending index.
+func (k *taskTracker) pendRemove(t int) { k.pending.remove(t) }
 
-// bucketAdd inserts t into bucket c at its sorted position.
+// pendInsert returns t to the pending index (a task whose last copy crashed
+// or was cancelled becomes an unbegun original again).
+func (k *taskTracker) pendInsert(t int) { k.pending.add(t) }
+
+// bucketAdd inserts t into bucket c.
 func (k *taskTracker) bucketAdd(t, c int) {
-	listInsertSorted(&k.bucketHead[c], k.bktNext, k.bktPrev, t)
+	k.buckets[c].add(t)
 	k.bucketOf[t] = c
 }
 
-// bucketRemove unlinks t from its current bucket.
+// bucketRemove removes t from its current bucket.
 func (k *taskTracker) bucketRemove(t int) {
-	listRemove(&k.bucketHead[k.bucketOf[t]], k.bktNext, k.bktPrev, t)
+	k.buckets[k.bucketOf[t]].remove(t)
 	k.bucketOf[t] = noTask
 }
 
@@ -144,8 +102,8 @@ func (k *taskTracker) bucketMove(t, c int) {
 // ID on ties" pick — or (noTask, copyCap) when no task is replicable.
 func (k *taskTracker) leastCovered(copyCap int) (task, copies int) {
 	for c := 1; c < copyCap; c++ {
-		if h := k.bucketHead[c]; h != noTask {
-			return h, c
+		if t := k.buckets[c].min(); t != noTask {
+			return t, c
 		}
 	}
 	return noTask, copyCap

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"repro/internal/avail"
 	"repro/internal/expect"
 	"repro/internal/platform"
 )
@@ -20,10 +19,14 @@ type copyState struct {
 	computeDone int
 }
 
-// workerState is the dynamic state of one worker processor.
+// workerState is the dynamic state of one worker processor. The
+// availability state itself lives in the engine's struct-of-arrays
+// e.states (one byte per worker): the hot loops — slate building, the
+// event clock's frozen-platform scan, the slow-check recounts — read
+// only the state, and packing those into a dense array keeps the scans
+// cache-resident at volunteer-grid platform sizes.
 type workerState struct {
-	proc  *platform.Processor
-	state avail.State
+	proc *platform.Processor
 	// analytics is the interned per-model cache the scheduler view exposes.
 	analytics *expect.Analytics
 	// progRecv counts program slots held; == Tprog means the full program.

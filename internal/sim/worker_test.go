@@ -14,8 +14,7 @@ func testWorker(w int) *workerState {
 		{0.05, 0.05, 0.90},
 	})
 	return &workerState{
-		proc:  &platform.Processor{ID: 0, W: w, Avail: m},
-		state: avail.Up,
+		proc: &platform.Processor{ID: 0, W: w, Avail: m},
 	}
 }
 

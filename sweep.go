@@ -167,6 +167,9 @@ type shardedSweep struct {
 // window — and with it sweep memory — stays proportional to the worker
 // count (× chunk size), never to the total instance count.
 func runSharded(sw shardedSweep) (*SweepResult, error) {
+	if err := sw.options.Validate(); err != nil {
+		return nil, err
+	}
 	workers := sw.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -359,6 +362,28 @@ func Table3Config(commScale, scenarios, trials int, seed uint64) SweepConfig {
 		Scenarios:  scenarios,
 		Trials:     trials,
 		Options:    ScenarioOptions{CommScale: commScale},
+		Seed:       seed,
+	}
+}
+
+// LargePConfig builds the volunteer-grid sweep (the large-platform regime,
+// P = 1k-100k): one cell whose task count tracks the platform size (n = P,
+// so the originals phase exercises full-width rounds) with a quarter-width
+// communication budget, restricted to the informed greedy pairs whose
+// incremental scoring and heap argmin carry that scale. Combine with
+// ModeEvent for sojourn-granularity stepping; see EXPERIMENTS.md ("Large
+// platforms") for expected runtimes per P.
+func LargePConfig(processors, scenarios, trials int, seed uint64) SweepConfig {
+	ncom := processors / 4
+	if ncom < 1 {
+		ncom = 1
+	}
+	return SweepConfig{
+		Cells:      []Cell{{Tasks: processors, Ncom: ncom, Wmin: 3}},
+		Heuristics: []string{"mct", "mct*", "emct", "emct*"},
+		Scenarios:  scenarios,
+		Trials:     trials,
+		Options:    ScenarioOptions{Processors: processors},
 		Seed:       seed,
 	}
 }

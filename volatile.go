@@ -81,6 +81,28 @@ type ScenarioOptions struct {
 	MaxSlots int
 }
 
+// Validate rejects option values scenario generation cannot honor. The
+// zero value (the paper's defaults) is always valid; a negative MaxReplicas
+// is the documented replication-disable switch, so it is valid too. Sweeps
+// validate their Options up front; NewScenario has no error path, so
+// callers overriding Processors (the volunteer-grid regime, P = 1k-100k)
+// should Validate first.
+func (o ScenarioOptions) Validate() error {
+	if o.Processors < 0 {
+		return fmt.Errorf("volatile: Processors %d: must be >= 0 (0 = paper default of 20)", o.Processors)
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("volatile: Iterations %d: must be >= 0 (0 = paper default of 10)", o.Iterations)
+	}
+	if o.CommScale < 0 {
+		return fmt.Errorf("volatile: CommScale %d: must be >= 0 (0 = paper default of 1)", o.CommScale)
+	}
+	if o.MaxSlots < 0 {
+		return fmt.Errorf("volatile: MaxSlots %d: must be >= 0 (0 = default cap)", o.MaxSlots)
+	}
+	return nil
+}
+
 func (o ScenarioOptions) toWorkload() workload.Options {
 	return workload.Options{
 		P:           o.Processors,
