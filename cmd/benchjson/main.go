@@ -17,9 +17,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/atomicio"
 )
 
 type benchmark struct {
@@ -67,7 +70,11 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	err = atomicio.WriteFile(*out, func(w io.Writer) error {
+		_, werr := w.Write(enc)
+		return werr
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

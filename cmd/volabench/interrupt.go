@@ -1,0 +1,159 @@
+package main
+
+// Durability plumbing for the sweep experiments: the -checkpoint/-resume/
+// -retries flag bundle, its validation, and the graceful-interrupt outcome
+// (exit code + resume command). Everything here is a pure function of its
+// inputs so the table tests in interrupt_test.go can pin the CLI contract
+// without running sweeps or delivering signals.
+
+import (
+	"fmt"
+	"strings"
+
+	volatile "repro"
+	"repro/internal/faultinject"
+)
+
+// sweepExperiments lists the -exp values that run through the sharded sweep
+// pipeline and therefore support the durability flags. The other
+// experiments (ablation, emctgain*) run several sweeps or none; a
+// checkpoint file would be silently overwritten mid-way, so the flags are
+// rejected there.
+var sweepExperiments = []string{
+	"table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep",
+}
+
+// durabilityArgs bundles the durability flags after parsing.
+type durabilityArgs struct {
+	checkpoint      string
+	every           int
+	resume          bool
+	crashAfter      int
+	digest          bool
+	retries         int
+	continueOnError bool
+	stop            chan struct{}
+}
+
+// set reports whether any durability flag differs from its default.
+func (d durabilityArgs) set() bool {
+	return d.checkpoint != "" || d.resume || d.crashAfter != 0 || d.digest ||
+		d.retries != 0 || d.continueOnError
+}
+
+// validateDurability rejects inconsistent durability flags before any sweep
+// work starts.
+func validateDurability(exp string, d durabilityArgs) error {
+	if !d.set() {
+		return nil
+	}
+	sweep := false
+	for _, e := range sweepExperiments {
+		if exp == e {
+			sweep = true
+			break
+		}
+	}
+	if !sweep {
+		return fmt.Errorf("-checkpoint/-resume/-crash-after/-digest/-retries/-continue-on-error apply only to sweep experiments (%s), not %q",
+			strings.Join(sweepExperiments, ", "), exp)
+	}
+	if d.every <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive (got %d)", d.every)
+	}
+	if d.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d)", d.retries)
+	}
+	if d.crashAfter < 0 {
+		return fmt.Errorf("-crash-after must be >= 0, where 0 disables the injected crash (got %d)", d.crashAfter)
+	}
+	if d.resume && d.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the file to resume from")
+	}
+	if d.crashAfter > 0 && d.checkpoint == "" {
+		return fmt.Errorf("-crash-after without -checkpoint would lose the progress it simulates losing; add -checkpoint")
+	}
+	return nil
+}
+
+// checkpointConfig builds the library checkpoint config ("" path → nil).
+func (d durabilityArgs) checkpointConfig() *volatile.CheckpointConfig {
+	if d.checkpoint == "" {
+		return nil
+	}
+	return &volatile.CheckpointConfig{Path: d.checkpoint, Every: d.every, Resume: d.resume}
+}
+
+// faultPlan builds the injection plan (-crash-after only; nil when off).
+func (d durabilityArgs) faultPlan() *faultinject.Plan {
+	if d.crashAfter == 0 {
+		return nil
+	}
+	return &faultinject.Plan{CrashAfterChunks: d.crashAfter}
+}
+
+func (d durabilityArgs) applySweep(cfg *volatile.SweepConfig) {
+	cfg.Checkpoint = d.checkpointConfig()
+	cfg.Stop = d.stop
+	cfg.MaxRetries = d.retries
+	cfg.ContinueOnError = d.continueOnError
+	cfg.Faults = d.faultPlan()
+}
+
+func (d durabilityArgs) applyTrace(cfg *volatile.TraceSweepConfig) {
+	cfg.Checkpoint = d.checkpointConfig()
+	cfg.Stop = d.stop
+	cfg.MaxRetries = d.retries
+	cfg.ContinueOnError = d.continueOnError
+	cfg.Faults = d.faultPlan()
+}
+
+func (d durabilityArgs) applyCompare(cfg *volatile.CompareConfig) {
+	cfg.Checkpoint = d.checkpointConfig()
+	cfg.Stop = d.stop
+	cfg.MaxRetries = d.retries
+	cfg.ContinueOnError = d.continueOnError
+	cfg.Faults = d.faultPlan()
+}
+
+// interruptOutcome maps a graceful interrupt to its exit code (130, the
+// shell convention for SIGINT) and the message naming the committed
+// progress and the resume command.
+func interruptOutcome(ie *volatile.InterruptedError, resumeCmd string) (code int, msg string) {
+	return 130, fmt.Sprintf("volabench: %v\nvolabench: resume with: %s", ie, resumeCmd)
+}
+
+// resumeCommand rebuilds the invocation that continues an interrupted
+// sweep: the original argv with any -crash-after injection stripped (a
+// resume should not re-crash) and -resume appended if absent.
+func resumeCommand(argv []string) string {
+	out := make([]string, 0, len(argv)+1)
+	hasResume := false
+	skipValue := false
+	for i, a := range argv {
+		if i == 0 {
+			out = append(out, a)
+			continue
+		}
+		if skipValue {
+			skipValue = false
+			continue
+		}
+		name, hasEq := a, strings.Contains(a, "=")
+		if hasEq {
+			name = a[:strings.Index(a, "=")]
+		}
+		switch strings.TrimLeft(name, "-") {
+		case "crash-after":
+			skipValue = !hasEq // "-crash-after 3" carries its value in the next arg
+			continue
+		case "resume":
+			hasResume = true
+		}
+		out = append(out, a)
+	}
+	if !hasResume {
+		out = append(out, "-resume")
+	}
+	return strings.Join(out, " ")
+}

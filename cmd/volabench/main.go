@@ -31,16 +31,21 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	volatile "repro"
+	"repro/internal/atomicio"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -61,6 +66,13 @@ func main() {
 		traceLen   = flag.Int("trace-len", 1000, "tracesweep vector length in slots")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckPath     = flag.String("checkpoint", "", "persist sweep progress to this file at chunk boundaries (crash-safe; enables SIGINT/SIGTERM graceful stop)")
+		ckEvery    = flag.Int("checkpoint-every", volatile.DefaultCheckpointEvery, "chunks between checkpoint writes")
+		resume     = flag.Bool("resume", false, "resume the sweep from -checkpoint (missing file starts from scratch)")
+		crashAfter = flag.Int("crash-after", 0, "fault injection: kill the sweep committer after this many committed chunks (0 = off; requires -checkpoint)")
+		digest     = flag.Bool("digest", false, "print the result digest (sha256 of the full-precision output) after the sweep")
+		retries    = flag.Int("retries", 0, "per-instance retry budget for failed runs")
+		contOnErr  = flag.Bool("continue-on-error", false, "drop instances that exhaust their retries instead of aborting the sweep")
 	)
 	var traceFiles multiFlag
 	flag.Var(&traceFiles, "trace-file", "tracesweep: replay this recorded trace file (repeatable; format of trace.Set.Write / cmd/volatrace)")
@@ -77,8 +89,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(2)
 	}
+	dur := durabilityArgs{
+		checkpoint: *ckPath, every: *ckEvery, resume: *resume,
+		crashAfter: *crashAfter, digest: *digest,
+		retries: *retries, continueOnError: *contOnErr,
+	}
+	if err := validateDurability(*exp, dur); err != nil {
+		fmt.Fprintln(os.Stderr, "volabench:", err)
+		os.Exit(2)
+	}
 	simMode, err := volatile.ParseMode(*mode)
 	fatalIf(err)
+
+	// With a checkpoint configured, SIGINT/SIGTERM stop the sweep
+	// gracefully: in-flight chunks commit, a final checkpoint is written,
+	// and the exit message names the resume command. A second signal kills
+	// immediately (default disposition is restored after the first).
+	var stopCh chan struct{}
+	if dur.checkpoint != "" {
+		stopCh = make(chan struct{})
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigCh
+			signal.Reset(os.Interrupt, syscall.SIGTERM)
+			fmt.Fprintln(os.Stderr, "\nvolabench: interrupted — committing in-flight chunks and checkpointing (signal again to kill)")
+			close(stopCh)
+		}()
+	}
+	dur.stop = stopCh
 
 	// Profiles cover the experiment itself (not flag parsing or the grid
 	// printer). On error exits the CPU profile is not flushed; profile
@@ -109,19 +148,23 @@ func main() {
 		cfg := volatile.Table2Config(*scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		cfg.Options.Processors = *procs
+		dur.applySweep(&cfg)
 		res := mustSweep(cfg)
 		fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
 			res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
+		reportSweepHealth(res, dur)
 
 	case "figure2":
 		cfg := volatile.Figure2Config(*scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		cfg.Options.Processors = *procs
+		dur.applySweep(&cfg)
 		res := mustSweep(cfg)
 		fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
 			res.Instances, time.Since(start).Round(time.Second))
 		printFigure2(res, cfg.Heuristics, *csvPath)
+		reportSweepHealth(res, dur)
 
 	case "table3x5", "table3x10":
 		scale := 5
@@ -131,10 +174,12 @@ func main() {
 		cfg := volatile.Table3Config(scale, *scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
 		cfg.Options.Processors = *procs
+		dur.applySweep(&cfg)
 		res := mustSweep(cfg)
 		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
 			scale, res.Instances, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
+		reportSweepHealth(res, dur)
 
 	case "tracesweep":
 		style, err := parseTraceStyle(*traceStyle)
@@ -142,7 +187,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "volabench:", err)
 			os.Exit(2)
 		}
-		res, err := volatile.TraceSweep(volatile.TraceSweepConfig{
+		cfg := volatile.TraceSweepConfig{
 			Cells:      volatile.PaperGrid(),
 			Scenarios:  *scenarios,
 			Trials:     *trials,
@@ -153,11 +198,10 @@ func main() {
 			Workers:    *workers,
 			Progress:   progress,
 			TraceFiles: traceFiles,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "volabench:", err)
-			os.Exit(1)
 		}
+		dur.applyTrace(&cfg)
+		res, err := volatile.TraceSweep(cfg)
+		handleSweepError(err)
 		if len(traceFiles) > 0 {
 			fmt.Printf("Trace-driven Table 2 — %d recorded trace file(s) (%d instances, %d censored runs, %v)\n\n",
 				len(traceFiles), res.Instances, res.Censored, time.Since(start).Round(time.Second))
@@ -166,9 +210,10 @@ func main() {
 				style, *traceLen, res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		}
 		printRows(res.Overall, *csvPath)
+		reportSweepHealth(res, dur)
 
 	case "dfrs":
-		res, err := volatile.CompareSweep(volatile.CompareConfig{
+		cfg := volatile.CompareConfig{
 			Cells:     volatile.PaperGrid(),
 			Scenarios: *scenarios,
 			Trials:    *trials,
@@ -176,16 +221,16 @@ func main() {
 			Seed:      *seed,
 			Workers:   *workers,
 			Progress:  progress,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "volabench:", err)
-			os.Exit(1)
 		}
+		dur.applyCompare(&cfg)
+		res, err := volatile.CompareSweep(cfg)
+		handleSweepError(err)
 		fmt.Printf("DFRS comparison — batch baselines vs fractional heuristics (%d instances, %d censored runs, %v)\n\n",
 			res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
 		fmt.Println()
 		printCompareCells(res)
+		reportSweepHealth(res, dur)
 
 	case "largep":
 		p := *procs
@@ -194,10 +239,12 @@ func main() {
 		}
 		cfg := volatile.LargePConfig(p, *scenarios, *trials, *seed)
 		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
+		dur.applySweep(&cfg)
 		res := mustSweep(cfg)
 		fmt.Printf("Volunteer grid — P = %d processors, n = P tasks (%d instances, %d censored runs, %v)\n\n",
 			p, res.Instances, res.Censored, time.Since(start).Round(time.Second))
 		printRows(res.Overall, *csvPath)
+		reportSweepHealth(res, dur)
 
 	case "ablation":
 		runAblation(simMode, *scenarios, *trials, *seed, *workers, progress)
@@ -230,11 +277,42 @@ func main() {
 
 func mustSweep(cfg volatile.SweepConfig) *volatile.SweepResult {
 	res, err := volatile.RunSweep(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "volabench:", err)
-		os.Exit(1)
-	}
+	handleSweepError(err)
 	return res
+}
+
+// handleSweepError exits on a sweep error. A graceful interrupt
+// (*volatile.InterruptedError) gets the conventional 130 and the exact
+// command that resumes the sweep; everything else is a plain failure.
+func handleSweepError(err error) {
+	if err == nil {
+		return
+	}
+	var ie *volatile.InterruptedError
+	if errors.As(err, &ie) {
+		code, msg := interruptOutcome(ie, resumeCommand(os.Args))
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(code)
+	}
+	fmt.Fprintln(os.Stderr, "volabench:", err)
+	os.Exit(1)
+}
+
+// reportSweepHealth surfaces the robustness bookkeeping — dropped
+// instances, failed checkpoint writes — and the result digest when asked.
+func reportSweepHealth(res *volatile.SweepResult, dur durabilityArgs) {
+	if res.FailedInstances > 0 {
+		fmt.Fprintf(os.Stderr, "volabench: %d instance(s) dropped after retry exhaustion:\n", res.FailedInstances)
+		for _, e := range res.InstanceErrors {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "volabench: warning: %s\n", w)
+	}
+	if dur.digest {
+		fmt.Printf("digest %s\n", res.Digest())
+	}
 }
 
 func printGrid() {
@@ -428,13 +506,12 @@ func meanMakespanProxy(res *volatile.SweepResult) float64 {
 }
 
 func writeCSV(path string, headers []string, rows [][]string) {
-	f, err := os.Create(path)
+	// Atomic write: an interrupted run leaves either the previous CSV or
+	// the complete new one, never a torn file.
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return report.WriteCSV(w, headers, rows)
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "volabench:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := report.WriteCSV(f, headers, rows); err != nil {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(1)
 	}

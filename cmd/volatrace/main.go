@@ -13,8 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/avail"
 	"repro/internal/expect"
 	"repro/internal/report"
@@ -72,17 +74,12 @@ func generate(styleName string, p, slots int, seed uint64, out string, meanUp fl
 		fatal(err)
 		set.Vectors = append(set.Vectors, avail.Record(proc, slots))
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		fatal(err)
-		defer f.Close()
-		w = f
+	if out == "" {
+		fatal(set.Write(os.Stdout))
+		return
 	}
-	fatal(set.Write(w))
-	if out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d traces of %d slots (%s) to %s\n", p, slots, styleName, out)
-	}
+	fatal(atomicio.WriteFile(out, func(w io.Writer) error { return set.Write(w) }))
+	fmt.Fprintf(os.Stderr, "wrote %d traces of %d slots (%s) to %s\n", p, slots, styleName, out)
 }
 
 func load(path string) *trace.Set {

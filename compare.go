@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/batch"
+	"repro/internal/faultinject"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -73,6 +75,15 @@ type CompareConfig struct {
 	// Progress, when non-nil, receives (completedInstances, totalInstances);
 	// see SweepConfig.Progress for the concurrency contract.
 	Progress func(done, total int)
+	// Checkpoint, Stop, MaxRetries, RetryBackoff, ContinueOnError and
+	// Faults mirror the SweepConfig fields of the same names: crash-safe
+	// checkpointing, graceful interrupt and the failure policy.
+	Checkpoint      *CheckpointConfig
+	Stop            <-chan struct{}
+	MaxRetries      int
+	RetryBackoff    time.Duration
+	ContinueOnError bool
+	Faults          *faultinject.Plan
 }
 
 // compareDisciplines resolves and validates the discipline list.
@@ -122,6 +133,14 @@ func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error
 	if err != nil {
 		return nil, err
 	}
+	// CompareSweep and BatchSweep share this body but are distinct sweeps:
+	// an empty heuristic list (BatchSweep) hashes differently from any
+	// resolved CompareSweep list, and the discipline names ride along as
+	// digest extras.
+	extra := make([]string, len(discNames))
+	for i, name := range discNames {
+		extra[i] = "discipline " + name
+	}
 	return runSharded(shardedSweep{
 		cells:     cfg.Cells,
 		scenarios: cfg.Scenarios,
@@ -130,6 +149,16 @@ func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error
 		seed:      cfg.Seed,
 		workers:   cfg.Workers,
 		progress:  cfg.Progress,
+		control: sweepControl{
+			digest: sweepConfigDigest("comparesweep", cfg.Cells, heuristics,
+				cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...),
+			checkpoint:      cfg.Checkpoint,
+			stop:            cfg.Stop,
+			faults:          cfg.Faults,
+			maxRetries:      cfg.MaxRetries,
+			retryBackoff:    cfg.RetryBackoff,
+			continueOnError: cfg.ContinueOnError,
+		},
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
 			rn.SetMode(cfg.Mode)

@@ -1,0 +1,59 @@
+// Package atomicio provides crash-safe file writes. Every durable artifact
+// of this repo (sweep checkpoints, trace sets, benchmark JSON, CSV exports)
+// goes through WriteFile, so a process killed mid-write can never leave a
+// torn file behind: readers observe either the previous content or the
+// complete new content, nothing in between.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes path atomically: the content is staged into a temporary
+// file in the same directory (rename is only atomic within a filesystem),
+// flushed and fsynced, and then renamed over path. On any error the staged
+// file is removed and path is left untouched.
+//
+// write receives a buffered writer; it must not retain it past its return.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: stage %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flush %s: %w", path, err)
+	}
+	// Persist the bytes before the rename publishes them: a crash between
+	// rename and a later flush could otherwise expose an empty renamed file.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	// CreateTemp stages at 0600; published artifacts keep the conventional
+	// file mode the direct os.Create path used to produce.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: publish %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileRoundTrip pins the happy path: the callback's bytes land at
+// the destination, complete and byte-identical.
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	want := strings.Repeat("payload line\n", 1000)
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, want)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("content mismatch: %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// TestWriteFileOverwritesAtomically pins the crash-safety contract a failed
+// rewrite must honor: when the writer callback errors, the previous file
+// content survives untouched and no .tmp litter is left in the directory.
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "original")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("mid-write crash")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "torn half of the new conte")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteFile error = %v, want wrapped %v", err, boom)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "original" {
+		t.Fatalf("failed rewrite clobbered the file: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.txt" {
+			t.Fatalf("staging litter left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileCreatesWithConventionalMode checks published artifacts are
+// world-readable like os.Create's would have been, not CreateTemp's 0600.
+func TestWriteFileCreatesWithConventionalMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Fatalf("mode = %v, want 0644", got)
+	}
+}
+
+// TestWriteFileMissingDirectory pins the error path: a destination in a
+// nonexistent directory fails up front and stages nothing.
+func TestWriteFileMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out.txt")
+	err := WriteFile(path, func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}

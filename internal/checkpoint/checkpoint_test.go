@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		ConfigDigest: strings.Repeat("ab", 32),
+		Chunks:       240,
+		NextChunk:    17,
+		Censored:     3,
+		Failed:       1,
+		Overall: stats.AggregatorState{
+			Instances: 34,
+			Accums: []stats.AccumState{
+				{Name: "emct", SumBits: 0x40091eb851eb851f, Count: 34, Wins: 20},
+				{Name: "emct*", SumBits: 0x3ff0000000000000, Count: 34, Wins: 25},
+				{Name: "mct", SumBits: 0x4030a3d70a3d70a4, Count: 34, Wins: 4},
+			},
+		},
+		Keyed: map[string]stats.AggregatorState{
+			"wmin 3": {
+				Instances: 10,
+				Accums:    []stats.AccumState{{Name: "emct", SumBits: 0x7ff8000000000000, Count: 10, Wins: 3}},
+			},
+			"cell 20 5 10": {
+				Instances: 4,
+				Accums:    []stats.AccumState{{Name: "emct", SumBits: 0, Count: 4, Wins: 4}},
+			},
+		},
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the durable format: a snapshot survives
+// the encode/decode cycle exactly, NaN/zero sum bits included.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	var b bytes.Buffer
+	if err := Encode(&b, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v\nfile:\n%s", err, b.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEncodeDeterministic pins that two encodings of the same snapshot are
+// byte-identical (map iteration must not leak into the format).
+func TestEncodeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Encode(&a, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+// TestDecodeRejectsDamage feeds structurally damaged files and requires a
+// clean error for each — never a panic, never a partial snapshot.
+func TestDecodeRejectsDamage(t *testing.T) {
+	var b bytes.Buffer
+	if err := Encode(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	valid := b.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no-newline", []byte("volatile-checkpoint v1")},
+		{"truncated-half", valid[:len(valid)/2]},
+		{"truncated-checksum", valid[:len(valid)-10]},
+		{"missing-checksum-line", append(bytes.TrimSuffix(append([]byte(nil), valid...), []byte("\n")), '\n')[:bytes.LastIndex(valid, []byte("sum "))]},
+		{"flipped-byte", flip(valid, len(valid)/3)},
+		{"flipped-sum-byte", flip(valid, len(valid)-3)},
+		{"wrong-version", reline(valid, 0, "volatile-checkpoint v99")},
+		{"bad-digest", reline(valid, 1, "config nothex")},
+		{"watermark-past-chunks", reline(valid, 3, "next 9999")},
+		{"negative-censored", reline(valid, 4, "censored -1")},
+		{"garbage", []byte("u\nr\nd\n")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			snap, err := Decode(c.data)
+			if err == nil {
+				t.Fatalf("damaged file decoded: %+v", snap)
+			}
+			if snap != nil {
+				t.Fatalf("non-nil snapshot alongside error %v", err)
+			}
+		})
+	}
+}
+
+// flip returns a copy of data with one byte XOR-flipped at i.
+func flip(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0x01
+	return out
+}
+
+// reline replaces line n (0-based) and rewrites a valid checksum, so the
+// field validation — not the checksum — is what must reject the file.
+func reline(data []byte, n int, repl string) []byte {
+	lines := strings.Split(string(data), "\n")
+	lines[n] = repl
+	payload := strings.Join(lines[:len(lines)-2], "\n") + "\n"
+	sum := sha256.Sum256([]byte(payload))
+	return []byte(payload + "sum " + hex.EncodeToString(sum[:]) + "\n")
+}
+
+// TestSaveLoad pins the file round trip plus the atomic-rewrite property:
+// a Save over an existing checkpoint either fully replaces it or (on error)
+// leaves it untouched.
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Load diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Overwrite with a later watermark; the file must be fully replaced.
+	want.NextChunk = 42
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextChunk != 42 {
+		t.Fatalf("overwrite lost the new watermark: %d", got.NextChunk)
+	}
+}
+
+// TestLoadMissingFile pins the resume-without-checkpoint error path.
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+// TestLoadTornFileRejected simulates the pre-atomic-write failure mode: a
+// file torn mid-write (as a crashing direct os.Create writer would leave)
+// must be rejected by the checksum, not half-resumed.
+func TestLoadTornFileRejected(t *testing.T) {
+	var b bytes.Buffer
+	if err := Encode(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	if err := os.WriteFile(path, b.Bytes()[:b.Len()*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("torn checkpoint accepted")
+	}
+}

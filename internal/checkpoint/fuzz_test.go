@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at Decode. The contract under
+// fuzz: never panic, never return a snapshot alongside an error, and any
+// accepted input must re-encode/re-decode to the same snapshot (so a resume
+// can never start from state the file does not actually pin). Corrupt,
+// truncated and digest-mismatched inputs from the seed corpus are the
+// "interesting" starting points.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Valid files of increasing richness.
+	for _, s := range []*Snapshot{
+		{
+			ConfigDigest: strings.Repeat("0", 64),
+			Chunks:       0, NextChunk: 0,
+			Overall: stats.AggregatorState{},
+			Keyed:   map[string]stats.AggregatorState{},
+		},
+		sampleSnapshot(),
+	} {
+		var b bytes.Buffer
+		if err := Encode(&b, s); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+		// Truncations and single-byte corruptions of valid files.
+		f.Add(b.Bytes()[:b.Len()/2])
+		f.Add(b.Bytes()[:b.Len()-1])
+		f.Add(flip(b.Bytes(), b.Len()/4))
+	}
+	// Structural near-misses.
+	f.Add([]byte("volatile-checkpoint v1\n"))
+	f.Add([]byte("volatile-checkpoint v2\nconfig " + strings.Repeat("0", 64) + "\n"))
+	f.Add([]byte("sum 0000\n"))
+	f.Add([]byte("agg \"overall\" 1 1\nh \"emct\" zzzz 1 1\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatalf("Decode returned snapshot %+v alongside error %v", snap, err)
+			}
+			return
+		}
+		// Accepted input: the snapshot must survive a re-encode round trip,
+		// i.e. Decode accepted only states Encode can actually pin.
+		var b bytes.Buffer
+		if err := Encode(&b, snap); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		again, err := Decode(b.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v\nfile:\n%s", err, b.String())
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatalf("accepted snapshot not stable under re-encode:\nfirst:  %+v\nsecond: %+v", snap, again)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+// Package faultinject provides deterministic fault injection for sweep
+// crash-safety tests. Every injected fault is a pure function of where the
+// work sits in the sweep (chunk, trial, attempt) — never of wall time, RNG
+// state shared with the simulation, or worker identity — so a fault plan
+// produces the same failures for any worker count and on every rerun. That
+// determinism is what lets the resume property tests assert bit-identical
+// output: the injected faults are part of the reproducible schedule, not
+// noise on top of it.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrCommitterCrash marks a sweep abort injected at a chunk-commit boundary
+// by Plan.CrashAfterChunks. Tests (and the volabench -crash-after flag)
+// match it with errors.Is to distinguish a simulated process death from a
+// real failure.
+var ErrCommitterCrash = errors.New("faultinject: committer crash injected")
+
+// Plan describes the faults to inject into one sweep run. The zero value
+// (and a nil *Plan) injects nothing.
+type Plan struct {
+	// CrashAfterChunks, when > 0, kills the sweep committer immediately
+	// after it has committed exactly that many chunks — after the commit is
+	// merged but before any checkpoint of it is written, mimicking a
+	// process dying at the worst point of a commit boundary. The sweep
+	// returns an error wrapping ErrCommitterCrash.
+	CrashAfterChunks int
+
+	// Instance, when non-nil, is consulted before every instance-run
+	// attempt. Returning a non-nil error makes that attempt fail with it
+	// instead of running the simulation. attempt counts from 0 and
+	// increments across retries of the same (chunk, trial).
+	Instance func(chunk, trial, attempt int) error
+
+	// Checkpoint, when non-nil, is consulted before each checkpoint write.
+	// seq counts the sweep's checkpoint attempts from 0. Returning a
+	// non-nil error makes that write fail with it, exercising the
+	// degraded continue-without-checkpoint path.
+	Checkpoint func(seq int) error
+
+	// Sleep, when non-nil, replaces time.Sleep for retry backoff so tests
+	// can observe or collapse the waits.
+	Sleep func(d time.Duration)
+}
+
+// InstanceFault returns the injected error for one attempt, tolerating a
+// nil plan or nil hook.
+func (p *Plan) InstanceFault(chunk, trial, attempt int) error {
+	if p == nil || p.Instance == nil {
+		return nil
+	}
+	return p.Instance(chunk, trial, attempt)
+}
+
+// CheckpointFault returns the injected error for one checkpoint write,
+// tolerating a nil plan or nil hook.
+func (p *Plan) CheckpointFault(seq int) error {
+	if p == nil || p.Checkpoint == nil {
+		return nil
+	}
+	return p.Checkpoint(seq)
+}
+
+// SleepFn returns the sleep function to use for retry backoff.
+func (p *Plan) SleepFn() func(time.Duration) {
+	if p == nil || p.Sleep == nil {
+		return time.Sleep
+	}
+	return p.Sleep
+}
+
+// hash maps (seed, chunk, trial) to a uniform uint64 via splitmix64 seed
+// expansion — stateless, so the verdict for a given instance is independent
+// of evaluation order.
+func hash(seed uint64, chunk, trial int) uint64 {
+	s := rng.SplitMix64(seed ^ uint64(chunk)*0x9E3779B97F4A7C15 ^ uint64(trial)*0xBF58476D1CE4E5B9)
+	return s.Next()
+}
+
+// TransientInstanceFaults returns an Instance hook that fails the first
+// `failures` attempts of a deterministic `rate` fraction of instances, then
+// lets retries succeed. With MaxRetries >= failures the sweep output is
+// bit-identical to a fault-free run.
+func TransientInstanceFaults(seed uint64, rate float64, failures int) func(chunk, trial, attempt int) error {
+	return func(chunk, trial, attempt int) error {
+		if attempt >= failures {
+			return nil
+		}
+		if float64(hash(seed, chunk, trial))/float64(1<<63)/2 >= rate {
+			return nil
+		}
+		return fmt.Errorf("faultinject: transient fault (chunk %d, trial %d, attempt %d)", chunk, trial, attempt)
+	}
+}
+
+// PersistentInstanceFault returns an Instance hook that fails every attempt
+// of exactly one (chunk, trial) instance, for exercising the
+// retry-exhausted record-and-continue path.
+func PersistentInstanceFault(chunk, trial int) func(chunk, trial, attempt int) error {
+	return func(c, t, _ int) error {
+		if c == chunk && t == trial {
+			return fmt.Errorf("faultinject: persistent fault (chunk %d, trial %d)", c, t)
+		}
+		return nil
+	}
+}
+
+// PersistentInstanceFaultUntil returns an Instance hook that fails the
+// first `failures` attempts of exactly one (chunk, trial) instance, then
+// lets it succeed — for pinning retry/backoff behaviour on a single
+// predictable victim.
+func PersistentInstanceFaultUntil(chunk, trial, failures int) func(chunk, trial, attempt int) error {
+	return func(c, t, attempt int) error {
+		if c == chunk && t == trial && attempt < failures {
+			return fmt.Errorf("faultinject: fault %d/%d (chunk %d, trial %d)", attempt+1, failures, c, t)
+		}
+		return nil
+	}
+}
+
+// CheckpointFailures returns a Checkpoint hook that fails every write whose
+// sequence number is in seqs, for exercising the degraded
+// continue-without-checkpoint path.
+func CheckpointFailures(seqs ...int) func(seq int) error {
+	bad := make(map[int]bool, len(seqs))
+	for _, s := range seqs {
+		bad[s] = true
+	}
+	return func(seq int) error {
+		if bad[seq] {
+			return fmt.Errorf("faultinject: checkpoint write %d failed", seq)
+		}
+		return nil
+	}
+}

@@ -48,6 +48,13 @@ func (s *ShardAggregator) Add(ir *InstanceResult, censoredRuns int) {
 	s.censored += censoredRuns
 }
 
+// Discard retires an Acquired result that will not be Added — an instance
+// whose run failed — returning it to the reuse pool so failure paths do not
+// leak pooled results.
+func (s *ShardAggregator) Discard(ir *InstanceResult) {
+	s.free = append(s.free, ir)
+}
+
 // Instances reports the number of buffered instances.
 func (s *ShardAggregator) Instances() int { return len(s.irs) }
 

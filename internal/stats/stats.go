@@ -96,6 +96,59 @@ func (a *Aggregator) Add(ir *InstanceResult) {
 // Instances reports the number of aggregated instances.
 func (a *Aggregator) Instances() int { return a.n }
 
+// AccumState is the serialized running aggregate of one heuristic: the
+// left-to-right dfb sum carried as raw IEEE-754 bits (so a restored
+// aggregator resumes the exact float, not a decimal approximation), the
+// sample count and the win count.
+type AccumState struct {
+	// Name is the heuristic (or batch discipline) the row belongs to.
+	Name string
+	// SumBits is math.Float64bits of the running dfb sum.
+	SumBits uint64
+	// Count is the number of dfb samples folded into the sum.
+	Count int
+	// Wins counts the instances where the heuristic was (tied-)best.
+	Wins int
+}
+
+// AggregatorState is a serializable snapshot of an Aggregator's running
+// state, ordered deterministically (by name) so its encoding is stable.
+type AggregatorState struct {
+	// Instances is the number of aggregated instances.
+	Instances int
+	// Accums holds one entry per heuristic, sorted by Name.
+	Accums []AccumState
+}
+
+// State snapshots the aggregator's running sums. The snapshot is a deep
+// copy: later Adds do not disturb it. Restoring it with FromState and
+// replaying the remaining instances in order yields an aggregator
+// bit-identical to one that saw the full sequence (the sum is carried as
+// raw float bits, so not even the last ulp is lost).
+func (a *Aggregator) State() AggregatorState {
+	st := AggregatorState{Instances: a.n, Accums: make([]AccumState, 0, len(a.acc))}
+	for name, ac := range a.acc {
+		st.Accums = append(st.Accums, AccumState{
+			Name:    name,
+			SumBits: math.Float64bits(ac.sum),
+			Count:   ac.count,
+			Wins:    ac.wins,
+		})
+	}
+	sort.Slice(st.Accums, func(i, j int) bool { return st.Accums[i].Name < st.Accums[j].Name })
+	return st
+}
+
+// FromState reconstructs an Aggregator from a State snapshot.
+func FromState(st AggregatorState) *Aggregator {
+	a := NewAggregator()
+	a.n = st.Instances
+	for _, ac := range st.Accums {
+		a.acc[ac.Name] = &accum{sum: math.Float64frombits(ac.SumBits), count: ac.Count, wins: ac.Wins}
+	}
+	return a
+}
+
 // Row is one line of a Table 2-style report.
 type Row struct {
 	// Name is the heuristic.

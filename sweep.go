@@ -1,14 +1,19 @@
 package volatile
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -44,8 +49,34 @@ type SweepConfig struct {
 	// Progress, when non-nil, receives (completedInstances, totalInstances).
 	// It may be called concurrently from several worker goroutines; each
 	// done value in 1..total is delivered exactly once, but not necessarily
-	// in ascending order.
+	// in ascending order. A resumed sweep starts done at the instance count
+	// its checkpoint already covers.
 	Progress func(done, total int)
+	// Checkpoint, when non-nil, makes the sweep crash-safe: committed state
+	// is persisted at chunk boundaries and a rerun with Checkpoint.Resume
+	// continues from the watermark, bit-identical to an uninterrupted run.
+	Checkpoint *CheckpointConfig
+	// Stop, when non-nil, requests a graceful interrupt when closed: no new
+	// chunks are fed, in-flight chunks commit, a final checkpoint is written
+	// (when configured), and the sweep returns *InterruptedError.
+	Stop <-chan struct{}
+	// MaxRetries bounds per-instance rerun attempts after a failed run
+	// (default 0: fail fast). Retries re-derive the identical trial seed, so
+	// a transient failure recovered within the budget leaves the sweep
+	// output bit-identical to an undisturbed run.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry, doubling per attempt
+	// (default 0: retry immediately).
+	RetryBackoff time.Duration
+	// ContinueOnError switches retry-exhausted instances from aborting the
+	// sweep to record-and-continue: the instance is dropped from the
+	// aggregates and surfaced via SweepResult.FailedInstances /
+	// InstanceErrors.
+	ContinueOnError bool
+	// Faults injects deterministic failures (worker errors, committer
+	// crashes, checkpoint-I/O faults) for crash-safety tests; nil in
+	// production.
+	Faults *faultinject.Plan
 }
 
 // SweepResult aggregates a sweep.
@@ -60,6 +91,16 @@ type SweepResult struct {
 	ByCell map[Cell][]TableRow
 	// Censored counts runs that hit the slot cap.
 	Censored int
+	// FailedInstances counts instances dropped after exhausting their retry
+	// budget under ContinueOnError. They contribute to no aggregate; a
+	// nonzero count means the rows above summarize a censored population.
+	FailedInstances int
+	// InstanceErrors samples the errors behind FailedInstances (bounded; a
+	// long degraded sweep keeps the first few, not megabytes of repeats).
+	InstanceErrors []string
+	// Warnings reports non-fatal degradations — checkpoint writes that
+	// failed while the sweep itself carried on.
+	Warnings []string
 }
 
 // RunSweep executes the sweep, parallelizing across instances. Results are
@@ -79,6 +120,16 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		seed:      cfg.Seed,
 		workers:   cfg.Workers,
 		progress:  cfg.Progress,
+		control: sweepControl{
+			digest: sweepConfigDigest("runsweep", cfg.Cells, heuristics,
+				cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed),
+			checkpoint:      cfg.Checkpoint,
+			stop:            cfg.Stop,
+			faults:          cfg.Faults,
+			maxRetries:      cfg.MaxRetries,
+			retryBackoff:    cfg.RetryBackoff,
+			continueOnError: cfg.ContinueOnError,
+		},
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
 			rn.SetMode(cfg.Mode)
@@ -138,6 +189,21 @@ func sweepHeuristics(cells []Cell, scenarios, trials int, heuristics []string) (
 // engine and trial scratch) from the factory passed to runSharded.
 type instanceRunner func(scn *Scenario, cellIdx, scenIdx, trialIdx int, ir *stats.InstanceResult) (censoredRuns int, err error)
 
+// sweepControl carries the durability and failure-policy knobs every sweep
+// flavour shares: the canonical config digest checkpoints are bound to,
+// checkpoint placement, graceful stop, fault injection, and the retry
+// policy. The zero value means "no checkpointing, fail fast" — the
+// pre-durability behaviour.
+type sweepControl struct {
+	digest          string
+	checkpoint      *CheckpointConfig
+	stop            <-chan struct{}
+	faults          *faultinject.Plan
+	maxRetries      int
+	retryBackoff    time.Duration
+	continueOnError bool
+}
+
 // shardedSweep is the input to runSharded: the grid geometry plus a factory
 // for per-worker instance runners.
 type shardedSweep struct {
@@ -148,8 +214,17 @@ type shardedSweep struct {
 	seed      uint64
 	workers   int
 	progress  func(done, total int)
+	control   sweepControl
 	newRunner func() instanceRunner
 }
+
+// maxInstanceErrors bounds SweepResult.InstanceErrors; a sweep degrading on
+// every chunk reports a sample of its failures, not all of them.
+const maxInstanceErrors = 4
+
+// maxChunkErrors bounds the per-chunk error sample workers ship to the
+// committer.
+const maxChunkErrors = 2
 
 // runSharded is the sweep pipeline shared by RunSweep and TraceSweep.
 //
@@ -170,6 +245,17 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 	if err := sw.options.Validate(); err != nil {
 		return nil, err
 	}
+	ctl := sw.control
+	ck := ctl.checkpoint
+	every := DefaultCheckpointEvery
+	if ck != nil {
+		if ck.Path == "" {
+			return nil, fmt.Errorf("volatile: CheckpointConfig needs a Path")
+		}
+		if ck.Every > 0 {
+			every = ck.Every
+		}
+	}
 	workers := sw.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -177,19 +263,55 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 	chunks := len(sw.cells) * sw.scenarios
 	total := chunks * sw.trials
 
-	// Scenario cache: scenario generation is deterministic in
-	// (seed, cell, scenario index), shared across trials.
-	scenarios := make([]*Scenario, chunks)
-	for c, cell := range sw.cells {
-		for s := 0; s < sw.scenarios; s++ {
-			scnSeed := deriveSeed(sw.seed, uint64(c), uint64(s), 0xA11CE)
-			scenarios[c*sw.scenarios+s] = NewScenario(scnSeed, cell, sw.options)
+	// Resume: restore the committer's aggregates and watermark from the
+	// checkpoint, after binding it to this exact sweep (config digest and
+	// chunk count). A missing file is a fresh start, so resume commands are
+	// idempotent; a damaged or mismatched file is an error, never a silent
+	// restart from zero.
+	overall := stats.NewAggregator()
+	byWmin := make(map[int]*stats.Aggregator)
+	byCell := make(map[Cell]*stats.Aggregator)
+	censored, failed := 0, 0
+	startChunk := 0
+	if ck != nil && ck.Resume {
+		switch snap, err := checkpoint.Load(ck.Path); {
+		case err != nil && isNotExist(err):
+			// No checkpoint yet: run from scratch.
+		case err != nil:
+			return nil, err
+		default:
+			if snap.ConfigDigest != ctl.digest {
+				return nil, fmt.Errorf("volatile: checkpoint %s was taken for a different sweep config (digest %.12s… != %.12s…)",
+					ck.Path, snap.ConfigDigest, ctl.digest)
+			}
+			if snap.Chunks != chunks {
+				return nil, fmt.Errorf("volatile: checkpoint %s covers %d chunks, sweep has %d",
+					ck.Path, snap.Chunks, chunks)
+			}
+			if overall, byWmin, byCell, err = restoreSnapshot(snap); err != nil {
+				return nil, err
+			}
+			censored, failed = snap.Censored, snap.Failed
+			startChunk = snap.NextChunk
 		}
 	}
 
+	// Scenario cache: scenario generation is deterministic in
+	// (seed, cell, scenario index), shared across trials. Chunks the
+	// checkpoint already covers are never touched, so their scenarios are
+	// not built.
+	scenarios := make([]*Scenario, chunks)
+	for ci := startChunk; ci < chunks; ci++ {
+		c, s := ci/sw.scenarios, ci%sw.scenarios
+		scnSeed := deriveSeed(sw.seed, uint64(c), uint64(s), 0xA11CE)
+		scenarios[ci] = NewScenario(scnSeed, sw.cells[c], sw.options)
+	}
+
 	type doneChunk struct {
-		idx   int
-		shard *stats.ShardAggregator
+		idx    int
+		shard  *stats.ShardAggregator
+		failed int
+		errs   []string
 	}
 	jobCh := make(chan int)
 	commitCh := make(chan doneChunk, workers)
@@ -200,6 +322,7 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	var done atomic.Int64
+	done.Store(int64(startChunk) * int64(sw.trials))
 	shardPool := sync.Pool{New: func() any { return stats.NewShardAggregator() }}
 	// window bounds the number of fed-but-uncommitted chunks: the feeder
 	// acquires a permit per chunk, the committer releases it once the chunk
@@ -214,14 +337,58 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			run := sw.newRunner()
+			sleep := ctl.faults.SleepFn()
 			for ci := range jobCh {
 				scn := scenarios[ci]
 				cellIdx, scenIdx := ci/sw.scenarios, ci%sw.scenarios
 				shard := shardPool.Get().(*stats.ShardAggregator)
+				chunkFailed := 0
+				var chunkErrs []string
 				for tr := 0; tr < sw.trials; tr++ {
 					ir := shard.Acquire()
-					nCens, err := run(scn, cellIdx, scenIdx, tr, ir)
+					// Retry loop: every attempt re-derives the identical
+					// trial seed inside run, so a recovered transient
+					// failure contributes exactly the instance an
+					// undisturbed sweep would have.
+					var nCens int
+					var err error
+					backoff := ctl.retryBackoff
+					for attempt := 0; ; attempt++ {
+						if err = ctl.faults.InstanceFault(ci, tr, attempt); err == nil {
+							nCens, err = run(scn, cellIdx, scenIdx, tr, ir)
+						}
+						if err == nil {
+							break
+						}
+						if attempt >= ctl.maxRetries {
+							break
+						}
+						// A failed attempt may have partially filled the
+						// result; wipe it before the rerun.
+						clear(ir.Makespans)
+						clear(ir.Censored)
+						if backoff > 0 {
+							sleep(backoff)
+							backoff *= 2
+						}
+					}
 					if err != nil {
+						if ctl.continueOnError {
+							// Record-and-continue: drop the instance, keep
+							// the sweep alive. The loss is surfaced via
+							// FailedInstances, and — because the verdict to
+							// drop depends only on (chunk, trial) — is the
+							// same for every worker count.
+							shard.Discard(ir)
+							chunkFailed++
+							if len(chunkErrs) < maxChunkErrors {
+								chunkErrs = append(chunkErrs, err.Error())
+							}
+							if sw.progress != nil {
+								sw.progress(int(done.Add(1)), total)
+							}
+							continue
+						}
 						select {
 						case errCh <- err:
 						default:
@@ -236,27 +403,53 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 						sw.progress(int(done.Add(1)), total)
 					}
 				}
-				commitCh <- doneChunk{idx: ci, shard: shard}
+				commitCh <- doneChunk{idx: ci, shard: shard, failed: chunkFailed, errs: chunkErrs}
 			}
 		}()
 	}
 
 	// Committer: merges shards in chunk order, holding out-of-order
-	// arrivals in a reorder window. It owns the aggregates, so no lock
-	// guards them; main reads them only after committerDone.
-	overall := stats.NewAggregator()
-	byWmin := make(map[int]*stats.Aggregator)
-	byCell := make(map[Cell]*stats.Aggregator)
-	censored := 0
+	// arrivals in a reorder window. It owns the aggregates (and all
+	// durability bookkeeping), so no lock guards them; main reads them only
+	// after committerDone.
+	next := startChunk
+	var instanceErrors, warnings []string
+	var crashErr error
+	ckSeq := 0
 	committerDone := make(chan struct{})
+	persist := func() {
+		if ferr := ctl.faults.CheckpointFault(ckSeq); ferr != nil {
+			ckSeq++
+			warnings = append(warnings, fmt.Sprintf("checkpoint write %s failed: %v", ck.Path, ferr))
+			return
+		}
+		ckSeq++
+		snap := buildSnapshot(ctl.digest, chunks, next, censored, failed, overall, byWmin, byCell)
+		if err := checkpoint.Save(ck.Path, snap); err != nil {
+			// A failed checkpoint degrades durability, not correctness: the
+			// sweep carries on and the caller learns via Warnings.
+			warnings = append(warnings, fmt.Sprintf("checkpoint write %s failed: %v", ck.Path, err))
+		}
+	}
 	go func() {
 		defer close(committerDone)
-		pending := make(map[int]*stats.ShardAggregator, workers)
-		next := 0
+		pending := make(map[int]doneChunk, workers)
+		sinceCk := 0
+		discard := func(dc doneChunk) {
+			dc.shard.Reset()
+			shardPool.Put(dc.shard)
+			<-window
+		}
 		for dc := range commitCh {
-			pending[dc.idx] = dc.shard
+			if crashErr != nil {
+				// Simulated committer death: drain without merging, as a
+				// killed process would simply never see these shards.
+				discard(dc)
+				continue
+			}
+			pending[dc.idx] = dc
 			for {
-				shard, ok := pending[next]
+				d, ok := pending[next]
 				if !ok {
 					break
 				}
@@ -272,26 +465,63 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 					bc = stats.NewAggregator()
 					byCell[cell] = bc
 				}
-				stats.Merge(shard, overall, bw, bc)
-				censored += shard.CensoredRuns()
-				shard.Reset()
-				shardPool.Put(shard)
+				stats.Merge(d.shard, overall, bw, bc)
+				censored += d.shard.CensoredRuns()
+				failed += d.failed
+				for _, e := range d.errs {
+					if len(instanceErrors) < maxInstanceErrors {
+						instanceErrors = append(instanceErrors, e)
+					}
+				}
+				d.shard.Reset()
+				shardPool.Put(d.shard)
 				<-window
 				next++
+				sinceCk++
+				if ctl.faults != nil && ctl.faults.CrashAfterChunks > 0 && next == ctl.faults.CrashAfterChunks {
+					// Injected crash at the worst point of the boundary: the
+					// chunk is merged in memory but not yet checkpointed, so
+					// resume must re-run it.
+					crashErr = fmt.Errorf("volatile: %w after %d/%d chunks",
+						faultinject.ErrCommitterCrash, next, chunks)
+					stopOnce.Do(func() { close(stop) })
+					for idx, p := range pending {
+						delete(pending, idx)
+						discard(p)
+					}
+					break
+				}
+				if ck != nil && sinceCk >= every {
+					persist()
+					sinceCk = 0
+				}
 			}
+		}
+		// Final checkpoint: covers completion, graceful stop and worker
+		// abort alike — but not an injected committer crash, which models a
+		// process that died before it could write anything more.
+		if ck != nil && crashErr == nil {
+			persist()
 		}
 	}()
 
+	stopped := false
 feed:
-	for ci := 0; ci < chunks; ci++ {
+	for ci := startChunk; ci < chunks; ci++ {
 		select {
 		case window <- struct{}{}:
 		case <-stop:
+			break feed
+		case <-ctl.stop:
+			stopped = true
 			break feed
 		}
 		select {
 		case jobCh <- ci:
 		case <-stop:
+			break feed
+		case <-ctl.stop:
+			stopped = true
 			break feed
 		}
 	}
@@ -299,18 +529,34 @@ feed:
 	wg.Wait()
 	close(commitCh)
 	<-committerDone
+	if crashErr != nil {
+		return nil, crashErr
+	}
 	select {
 	case err := <-errCh:
+		if ck != nil {
+			return nil, fmt.Errorf("%w (committed progress checkpointed to %s; rerun with Checkpoint.Resume)", err, ck.Path)
+		}
 		return nil, err
 	default:
 	}
+	if stopped {
+		path := ""
+		if ck != nil {
+			path = ck.Path
+		}
+		return nil, &InterruptedError{Path: path, Committed: next, Chunks: chunks}
+	}
 
 	out := &SweepResult{
-		Instances: overall.Instances(),
-		Overall:   overall.Rows(),
-		ByWmin:    make(map[int][]TableRow, len(byWmin)),
-		ByCell:    make(map[Cell][]TableRow, len(byCell)),
-		Censored:  censored,
+		Instances:       overall.Instances(),
+		Overall:         overall.Rows(),
+		ByWmin:          make(map[int][]TableRow, len(byWmin)),
+		ByCell:          make(map[Cell][]TableRow, len(byCell)),
+		Censored:        censored,
+		FailedInstances: failed,
+		InstanceErrors:  instanceErrors,
+		Warnings:        warnings,
 	}
 	for wmin, agg := range byWmin {
 		out.ByWmin[wmin] = agg.Rows()
@@ -320,6 +566,10 @@ feed:
 	}
 	return out, nil
 }
+
+// isNotExist reports whether err denotes a missing checkpoint file (Load
+// wraps the underlying *PathError, so errors.Is sees through it).
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
 
 // deriveSeed mixes sweep indices into a reproducible sub-seed.
 func deriveSeed(parts ...uint64) uint64 {

@@ -3,11 +3,7 @@ package volatile
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"runtime"
-	"sort"
-	"strconv"
-	"strings"
 	"testing"
 )
 
@@ -31,44 +27,11 @@ func goldenSweepConfig() SweepConfig {
 	}
 }
 
-// formatSweep renders every field of a SweepResult deterministically and at
-// full float precision, so the digest is sensitive to any numeric change.
-func formatSweep(res *SweepResult) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "instances=%d censored=%d\n", res.Instances, res.Censored)
-	writeRows := func(label string, rows []TableRow) {
-		fmt.Fprintf(&b, "[%s]\n", label)
-		for _, r := range rows {
-			fmt.Fprintf(&b, "%s %s %d\n", r.Name, strconv.FormatFloat(r.AvgDFB, 'g', -1, 64), r.Wins)
-		}
-	}
-	writeRows("overall", res.Overall)
-	wmins := make([]int, 0, len(res.ByWmin))
-	for w := range res.ByWmin {
-		wmins = append(wmins, w)
-	}
-	sort.Ints(wmins)
-	for _, w := range wmins {
-		writeRows(fmt.Sprintf("wmin=%d", w), res.ByWmin[w])
-	}
-	cells := make([]Cell, 0, len(res.ByCell))
-	for c := range res.ByCell {
-		cells = append(cells, c)
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Tasks != cells[j].Tasks {
-			return cells[i].Tasks < cells[j].Tasks
-		}
-		if cells[i].Ncom != cells[j].Ncom {
-			return cells[i].Ncom < cells[j].Ncom
-		}
-		return cells[i].Wmin < cells[j].Wmin
-	})
-	for _, c := range cells {
-		writeRows(c.String(), res.ByCell[c])
-	}
-	return b.String()
-}
+// formatSweep is SweepResult.Format, which renders every numeric field
+// deterministically and at full float precision; the shim keeps the many
+// golden tests that predate the method unchanged. TestFormatMatchesDigest in
+// sweep_resume_test.go pins that Format and the golden digests agree.
+func formatSweep(res *SweepResult) string { return res.Format() }
 
 // TestRunSweepGolden locks the exact numeric output of a fixed-seed sweep
 // across all 17 heuristics and a spread of grid cells (light, heavy,

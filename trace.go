@@ -25,9 +25,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/avail"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -283,6 +285,17 @@ type TraceSweepConfig struct {
 	// Progress, when non-nil, receives (completedInstances, totalInstances);
 	// see SweepConfig.Progress for the concurrency contract.
 	Progress func(done, total int)
+	// Checkpoint, Stop, MaxRetries, RetryBackoff, ContinueOnError and
+	// Faults mirror the SweepConfig fields of the same names: crash-safe
+	// checkpointing, graceful interrupt and the failure policy. Recorded
+	// trace sets are content-hashed into the checkpoint's config digest, so
+	// a resume against edited trace files is rejected.
+	Checkpoint      *CheckpointConfig
+	Stop            <-chan struct{}
+	MaxRetries      int
+	RetryBackoff    time.Duration
+	ContinueOnError bool
+	Faults          *faultinject.Plan
 }
 
 // traceSeedSalt separates trace-generation streams from trial streams.
@@ -317,6 +330,17 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 	if sets == nil && traceLen < 2 {
 		return nil, fmt.Errorf("volatile: TraceLen %d too short to fit models (need >= 2)", traceLen)
 	}
+	// The digest pins the trace source: the sojourn family and recorded
+	// length for synthetic sweeps, the full vector content for recorded
+	// sets (paths alone would let an edited file poison a resume).
+	var extra []string
+	if sets != nil {
+		if extra, err = traceSetDigests(sets); err != nil {
+			return nil, err
+		}
+	} else {
+		extra = []string{fmt.Sprintf("style %s", cfg.Style), fmt.Sprintf("tracelen %d", traceLen)}
+	}
 	return runSharded(shardedSweep{
 		cells:     cfg.Cells,
 		scenarios: cfg.Scenarios,
@@ -325,6 +349,16 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 		seed:      cfg.Seed,
 		workers:   cfg.Workers,
 		progress:  cfg.Progress,
+		control: sweepControl{
+			digest: sweepConfigDigest("tracesweep", cfg.Cells, heuristics,
+				cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...),
+			checkpoint:      cfg.Checkpoint,
+			stop:            cfg.Stop,
+			faults:          cfg.Faults,
+			maxRetries:      cfg.MaxRetries,
+			retryBackoff:    cfg.RetryBackoff,
+			continueOnError: cfg.ContinueOnError,
+		},
 		newRunner: func() instanceRunner {
 			rn := NewRunner()
 			rn.SetMode(cfg.Mode)
