@@ -33,7 +33,8 @@ type CheckpointConfig struct {
 	Path string
 	// Every is the chunk interval between periodic checkpoint writes
 	// (default DefaultCheckpointEvery). Smaller values lose less work on a
-	// crash and cost more I/O.
+	// crash and cost more I/O. Negative values are rejected up front — a
+	// typo must not silently change the checkpoint cadence.
 	Every int
 	// Resume, when true, loads Path before sweeping and skips the chunks it
 	// records as committed. A checkpoint whose config digest or chunk count

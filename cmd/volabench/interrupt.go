@@ -12,16 +12,16 @@ import (
 
 	volatile "repro"
 	"repro/internal/faultinject"
+	"repro/internal/sweepreq"
 )
 
 // sweepExperiments lists the -exp values that run through the sharded sweep
 // pipeline and therefore support the durability flags. The other
 // experiments (ablation, emctgain*) run several sweeps or none; a
 // checkpoint file would be silently overwritten mid-way, so the flags are
-// rejected there.
-var sweepExperiments = []string{
-	"table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep",
-}
+// rejected there. The canonical list lives in internal/sweepreq, shared
+// with cmd/volaserved.
+var sweepExperiments = sweepreq.SweepExperiments()
 
 // durabilityArgs bundles the durability flags after parsing.
 type durabilityArgs struct {
@@ -35,15 +35,24 @@ type durabilityArgs struct {
 	stop            chan struct{}
 }
 
-// set reports whether any durability flag differs from its default.
+// set reports whether any durability flag differs from its default. A
+// non-default -checkpoint-every counts: it is meaningless without
+// -checkpoint and must not be ignored silently.
 func (d durabilityArgs) set() bool {
 	return d.checkpoint != "" || d.resume || d.crashAfter != 0 || d.digest ||
-		d.retries != 0 || d.continueOnError
+		d.retries != 0 || d.continueOnError ||
+		(d.every != 0 && d.every != volatile.DefaultCheckpointEvery)
 }
 
 // validateDurability rejects inconsistent durability flags before any sweep
 // work starts.
 func validateDurability(exp string, d durabilityArgs) error {
+	// A negative interval is always a typo, whatever the other flags say:
+	// the library would otherwise have to choose between erroring late and
+	// silently substituting the default cadence.
+	if d.every < 0 {
+		return fmt.Errorf("-checkpoint-every must be positive (got %d)", d.every)
+	}
 	if !d.set() {
 		return nil
 	}
@@ -73,6 +82,9 @@ func validateDurability(exp string, d durabilityArgs) error {
 	if d.crashAfter > 0 && d.checkpoint == "" {
 		return fmt.Errorf("-crash-after without -checkpoint would lose the progress it simulates losing; add -checkpoint")
 	}
+	if d.every != volatile.DefaultCheckpointEvery && d.checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint to name the file it paces")
+	}
 	return nil
 }
 
@@ -92,30 +104,6 @@ func (d durabilityArgs) faultPlan() *faultinject.Plan {
 	return &faultinject.Plan{CrashAfterChunks: d.crashAfter}
 }
 
-func (d durabilityArgs) applySweep(cfg *volatile.SweepConfig) {
-	cfg.Checkpoint = d.checkpointConfig()
-	cfg.Stop = d.stop
-	cfg.MaxRetries = d.retries
-	cfg.ContinueOnError = d.continueOnError
-	cfg.Faults = d.faultPlan()
-}
-
-func (d durabilityArgs) applyTrace(cfg *volatile.TraceSweepConfig) {
-	cfg.Checkpoint = d.checkpointConfig()
-	cfg.Stop = d.stop
-	cfg.MaxRetries = d.retries
-	cfg.ContinueOnError = d.continueOnError
-	cfg.Faults = d.faultPlan()
-}
-
-func (d durabilityArgs) applyCompare(cfg *volatile.CompareConfig) {
-	cfg.Checkpoint = d.checkpointConfig()
-	cfg.Stop = d.stop
-	cfg.MaxRetries = d.retries
-	cfg.ContinueOnError = d.continueOnError
-	cfg.Faults = d.faultPlan()
-}
-
 // interruptOutcome maps a graceful interrupt to its exit code (130, the
 // shell convention for SIGINT) and the message naming the committed
 // progress and the resume command.
@@ -125,14 +113,17 @@ func interruptOutcome(ie *volatile.InterruptedError, resumeCmd string) (code int
 
 // resumeCommand rebuilds the invocation that continues an interrupted
 // sweep: the original argv with any -crash-after injection stripped (a
-// resume should not re-crash) and -resume appended if absent.
+// resume should not re-crash) and -resume appended if absent. Each printed
+// token is shell-quoted as needed, so a -checkpoint or -trace-file path
+// containing spaces (or any other shell metacharacter) yields a command
+// that can be copied back into a POSIX shell verbatim.
 func resumeCommand(argv []string) string {
 	out := make([]string, 0, len(argv)+1)
 	hasResume := false
 	skipValue := false
 	for i, a := range argv {
 		if i == 0 {
-			out = append(out, a)
+			out = append(out, shellQuote(a))
 			continue
 		}
 		if skipValue {
@@ -150,10 +141,31 @@ func resumeCommand(argv []string) string {
 		case "resume":
 			hasResume = true
 		}
-		out = append(out, a)
+		out = append(out, shellQuote(a))
 	}
 	if !hasResume {
 		out = append(out, "-resume")
 	}
 	return strings.Join(out, " ")
+}
+
+// shellQuote returns s single-quoted for a POSIX shell when it contains
+// anything outside the conservative always-safe set; plain tokens (flag
+// names, numbers, simple paths, -flag=value pairs) pass through unchanged.
+// An embedded single quote closes the quoting, emits a backslash-escaped
+// quote, and reopens it (the standard POSIX splice).
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		safe := ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') ||
+			c == '-' || c == '_' || c == '.' || c == '/' || c == '=' ||
+			c == ',' || c == ':' || c == '+' || c == '@' || c == '%'
+		if !safe {
+			return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+		}
+	}
+	return s
 }

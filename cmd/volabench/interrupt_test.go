@@ -40,6 +40,16 @@ func TestValidateDurabilityTable(t *testing.T) {
 		{"checkpoint-ablation", "ablation", ck(durabilityArgs{checkpoint: "x.ckpt"}), "apply only to sweep experiments"},
 		{"digest-emctgain", "emctgain", ck(durabilityArgs{digest: true}), "apply only to sweep experiments"},
 		{"retries-emctgain-norepl", "emctgain-norepl", ck(durabilityArgs{retries: 1}), "apply only to sweep experiments"},
+
+		// A negative -checkpoint-every is rejected even when it is the only
+		// durability flag: before PR 9 it silently fell through to the
+		// library, which substituted the default cadence.
+		{"negative-every-alone", "table2", durabilityArgs{every: -8}, "-checkpoint-every must be positive"},
+		{"negative-every-with-checkpoint", "table2", durabilityArgs{checkpoint: "x.ckpt", every: -1}, "-checkpoint-every must be positive"},
+		{"negative-every-non-sweep", "ablation", durabilityArgs{every: -1}, "-checkpoint-every must be positive"},
+		// A non-default cadence with no checkpoint file would be ignored
+		// silently; require -checkpoint to give it something to pace.
+		{"every-without-checkpoint", "table2", durabilityArgs{every: 5}, "-checkpoint-every needs -checkpoint"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -114,6 +124,38 @@ func TestResumeCommandTable(t *testing.T) {
 			"keeps-other-flags",
 			[]string{"volabench", "-exp", "tracesweep", "-mode", "event", "-seed", "7", "-checkpoint", "x.ckpt"},
 			"volabench -exp tracesweep -mode event -seed 7 -checkpoint x.ckpt -resume",
+		},
+		// Shell quoting: a path with a space must survive a copy-paste back
+		// into a POSIX shell, in both the pair and the = flag spellings.
+		{
+			"quotes-space-in-pair-value",
+			[]string{"volabench", "-exp", "table2", "-checkpoint", "my run.ckpt"},
+			"volabench -exp table2 -checkpoint 'my run.ckpt' -resume",
+		},
+		{
+			"quotes-space-in-eq-form",
+			[]string{"volabench", "-checkpoint=my run.ckpt"},
+			"volabench '-checkpoint=my run.ckpt' -resume",
+		},
+		{
+			"quotes-embedded-single-quote",
+			[]string{"volabench", "-checkpoint", "it's.ckpt"},
+			`volabench -checkpoint 'it'\''s.ckpt' -resume`,
+		},
+		{
+			"quotes-argv0-with-space",
+			[]string{"/tmp/my tools/volabench", "-checkpoint", "x.ckpt"},
+			"'/tmp/my tools/volabench' -checkpoint x.ckpt -resume",
+		},
+		{
+			"quotes-shell-metacharacters",
+			[]string{"volabench", "-checkpoint", "runs/$(date).ckpt", "-trace-file", "a;b.trace"},
+			"volabench -checkpoint 'runs/$(date).ckpt' -trace-file 'a;b.trace' -resume",
+		},
+		{
+			"quotes-empty-value",
+			[]string{"volabench", "-checkpoint", ""},
+			"volabench -checkpoint '' -resume",
 		},
 	}
 	for _, c := range cases {

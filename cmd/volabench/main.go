@@ -48,6 +48,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/sweepreq"
 )
 
 func main() {
@@ -84,8 +85,16 @@ func main() {
 	}
 
 	// Validate everything before any profile starts, so a typo exits
-	// cleanly instead of leaving a truncated profile file behind.
-	if err := validateArgs(*exp, *mode, *scenarios, *trials, *workers, *procs); err != nil {
+	// cleanly instead of leaving a truncated profile file behind. The
+	// request is the same shape cmd/volaserved accepts over JSON; the two
+	// surfaces share validation, construction and the config digest.
+	req := sweepreq.Request{
+		Exp: *exp, Mode: *mode, Scenarios: *scenarios, Trials: *trials,
+		Procs: *procs, Seed: *seed, Workers: *workers,
+		TraceStyle: *traceStyle, TraceLen: *traceLen, TraceFiles: traceFiles,
+		Retries: *retries, ContinueOnError: *contOnErr,
+	}
+	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
 		os.Exit(2)
 	}
@@ -144,106 +153,64 @@ func main() {
 
 	start := time.Now()
 	switch *exp {
-	case "table2":
-		cfg := volatile.Table2Config(*scenarios, *trials, *seed)
-		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
-		cfg.Options.Processors = *procs
-		dur.applySweep(&cfg)
-		res := mustSweep(cfg)
-		fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
-			res.Instances, res.Censored, time.Since(start).Round(time.Second))
-		printRows(res.Overall, *csvPath)
-		reportSweepHealth(res, dur)
-
-	case "figure2":
-		cfg := volatile.Figure2Config(*scenarios, *trials, *seed)
-		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
-		cfg.Options.Processors = *procs
-		dur.applySweep(&cfg)
-		res := mustSweep(cfg)
-		fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
-			res.Instances, time.Since(start).Round(time.Second))
-		printFigure2(res, cfg.Heuristics, *csvPath)
-		reportSweepHealth(res, dur)
-
-	case "table3x5", "table3x10":
-		scale := 5
-		if *exp == "table3x10" {
-			scale = 10
-		}
-		cfg := volatile.Table3Config(scale, *scenarios, *trials, *seed)
-		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
-		cfg.Options.Processors = *procs
-		dur.applySweep(&cfg)
-		res := mustSweep(cfg)
-		fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
-			scale, res.Instances, time.Since(start).Round(time.Second))
-		printRows(res.Overall, *csvPath)
-		reportSweepHealth(res, dur)
-
-	case "tracesweep":
-		style, err := parseTraceStyle(*traceStyle)
+	case "table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep":
+		// Every sweep-family experiment goes through the shared request
+		// layer: Build validates, constructs the config and resolves its
+		// content digest exactly as the sweep service does.
+		built, err := sweepreq.Build(req)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "volabench:", err)
 			os.Exit(2)
 		}
-		cfg := volatile.TraceSweepConfig{
-			Cells:      volatile.PaperGrid(),
-			Scenarios:  *scenarios,
-			Trials:     *trials,
-			TraceLen:   *traceLen,
-			Style:      style,
-			Mode:       simMode,
-			Seed:       *seed,
-			Workers:    *workers,
+		res, err := built.Run(sweepreq.RunOpts{
 			Progress:   progress,
-			TraceFiles: traceFiles,
-		}
-		dur.applyTrace(&cfg)
-		res, err := volatile.TraceSweep(cfg)
+			Checkpoint: dur.checkpointConfig(),
+			Stop:       dur.stop,
+			Faults:     dur.faultPlan(),
+		})
 		handleSweepError(err)
-		if len(traceFiles) > 0 {
-			fmt.Printf("Trace-driven Table 2 — %d recorded trace file(s) (%d instances, %d censored runs, %v)\n\n",
-				len(traceFiles), res.Instances, res.Censored, time.Since(start).Round(time.Second))
-		} else {
-			fmt.Printf("Trace-driven Table 2 — synthetic %s traces, %d slots each (%d instances, %d censored runs, %v)\n\n",
-				style, *traceLen, res.Instances, res.Censored, time.Since(start).Round(time.Second))
+		elapsed := time.Since(start).Round(time.Second)
+		switch *exp {
+		case "table2":
+			fmt.Printf("Table 2 — results over all problem instances (%d instances, %d censored runs, %v)\n\n",
+				res.Instances, res.Censored, elapsed)
+			printRows(res.Overall, *csvPath)
+		case "figure2":
+			fmt.Printf("Figure 2 — averaged dfb vs wmin (%d instances, %v)\n\n",
+				res.Instances, elapsed)
+			printFigure2(res, built.Heuristics, *csvPath)
+		case "table3x5", "table3x10":
+			scale := 5
+			if *exp == "table3x10" {
+				scale = 10
+			}
+			fmt.Printf("Table 3 — contention-prone, communication times ×%d (%d instances, %v)\n\n",
+				scale, res.Instances, elapsed)
+			printRows(res.Overall, *csvPath)
+		case "tracesweep":
+			if len(traceFiles) > 0 {
+				fmt.Printf("Trace-driven Table 2 — %d recorded trace file(s) (%d instances, %d censored runs, %v)\n\n",
+					len(traceFiles), res.Instances, res.Censored, elapsed)
+			} else {
+				fmt.Printf("Trace-driven Table 2 — synthetic %s traces, %d slots each (%d instances, %d censored runs, %v)\n\n",
+					*traceStyle, *traceLen, res.Instances, res.Censored, elapsed)
+			}
+			printRows(res.Overall, *csvPath)
+		case "dfrs":
+			fmt.Printf("DFRS comparison — batch baselines vs fractional heuristics (%d instances, %d censored runs, %v)\n\n",
+				res.Instances, res.Censored, elapsed)
+			printRows(res.Overall, *csvPath)
+			fmt.Println()
+			printCompareCells(res)
+		case "largep":
+			p := *procs
+			if p == 0 {
+				p = 1000
+			}
+			fmt.Printf("Volunteer grid — P = %d processors, n = P tasks (%d instances, %d censored runs, %v)\n\n",
+				p, res.Instances, res.Censored, elapsed)
+			printRows(res.Overall, *csvPath)
 		}
-		printRows(res.Overall, *csvPath)
-		reportSweepHealth(res, dur)
-
-	case "dfrs":
-		cfg := volatile.CompareConfig{
-			Cells:     volatile.PaperGrid(),
-			Scenarios: *scenarios,
-			Trials:    *trials,
-			Mode:      simMode,
-			Seed:      *seed,
-			Workers:   *workers,
-			Progress:  progress,
-		}
-		dur.applyCompare(&cfg)
-		res, err := volatile.CompareSweep(cfg)
-		handleSweepError(err)
-		fmt.Printf("DFRS comparison — batch baselines vs fractional heuristics (%d instances, %d censored runs, %v)\n\n",
-			res.Instances, res.Censored, time.Since(start).Round(time.Second))
-		printRows(res.Overall, *csvPath)
-		fmt.Println()
-		printCompareCells(res)
-		reportSweepHealth(res, dur)
-
-	case "largep":
-		p := *procs
-		if p == 0 {
-			p = 1000
-		}
-		cfg := volatile.LargePConfig(p, *scenarios, *trials, *seed)
-		cfg.Mode, cfg.Workers, cfg.Progress = simMode, *workers, progress
-		dur.applySweep(&cfg)
-		res := mustSweep(cfg)
-		fmt.Printf("Volunteer grid — P = %d processors, n = P tasks (%d instances, %d censored runs, %v)\n\n",
-			p, res.Instances, res.Censored, time.Since(start).Round(time.Second))
-		printRows(res.Overall, *csvPath)
 		reportSweepHealth(res, dur)
 
 	case "ablation":
@@ -476,18 +443,6 @@ func printCompareCells(res *volatile.SweepResult) {
 	}
 	fmt.Println("Per-cell degradation-from-best, batch vs fractional:")
 	fmt.Print(tb.String())
-}
-
-func parseTraceStyle(name string) (volatile.TraceStyle, error) {
-	switch name {
-	case "weibull":
-		return volatile.TraceWeibull, nil
-	case "pareto":
-		return volatile.TracePareto, nil
-	case "lognormal":
-		return volatile.TraceLogNormal, nil
-	}
-	return 0, fmt.Errorf("unknown trace style %q (weibull|pareto|lognormal)", name)
 }
 
 func fatalIf(err error) {

@@ -1,20 +1,14 @@
 package main
 
 import (
-	"fmt"
-	"strings"
-
-	volatile "repro"
+	"repro/internal/sweepreq"
 )
 
 // experiments lists every -exp value main dispatches on, in the order the
-// usage text presents them. validateArgs and the dispatch switch must agree;
-// the CLI table test pins both directions.
-var experiments = []string{
-	"table2", "figure2", "table3x5", "table3x10",
-	"ablation", "emctgain", "emctgain-norepl", "tracesweep", "dfrs",
-	"largep",
-}
+// usage text presents them. The canonical list lives in internal/sweepreq,
+// shared with cmd/volaserved; the CLI table test pins that the dispatch
+// switch and this list agree.
+var experiments = sweepreq.Experiments()
 
 // validateArgs rejects unusable sweep parameters up front: a non-positive
 // -scenarios or -trials would silently produce an empty sweep (or a
@@ -24,27 +18,17 @@ var experiments = []string{
 // An unknown -mode is rejected the same way, naming the valid time bases.
 // A negative -p (platform-size override) is rejected here too; the library
 // validates again (ScenarioOptions.Validate), but failing pre-profile keeps
-// the CLI contract uniform.
+// the CLI contract uniform. It is a flag-shaped wrapper over
+// sweepreq.Request.Validate — the exact validation cmd/volaserved applies
+// to JSON submissions — so both surfaces reject the same inputs with the
+// same messages.
 func validateArgs(exp, mode string, scenarios, trials, workers, procs int) error {
-	if scenarios <= 0 {
-		return fmt.Errorf("-scenarios must be positive (got %d)", scenarios)
-	}
-	if trials <= 0 {
-		return fmt.Errorf("-trials must be positive (got %d)", trials)
-	}
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, where 0 means all cores (got %d)", workers)
-	}
-	if procs < 0 {
-		return fmt.Errorf("-p must be >= 0, where 0 means the experiment default (got %d)", procs)
-	}
-	if _, err := volatile.ParseMode(mode); err != nil {
-		return fmt.Errorf("unknown mode %q (valid: %s)", mode, strings.Join(volatile.ModeNames(), ", "))
-	}
-	for _, e := range experiments {
-		if exp == e {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
+	return sweepreq.Request{
+		Exp:       exp,
+		Mode:      mode,
+		Scenarios: scenarios,
+		Trials:    trials,
+		Workers:   workers,
+		Procs:     procs,
+	}.Validate()
 }

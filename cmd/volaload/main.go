@@ -1,0 +1,236 @@
+// Command volaload is a small load driver for volaserved: it warms one
+// sweep to completion, then hammers the server with identical submissions
+// and result fetches — every request after the first is a cache hit, so
+// the numbers measure the service layer (routing, job table, cached-result
+// serving), not the simulator. Output is a JSON report in the same spirit
+// as cmd/benchjson's BENCH_table2.json.
+//
+// Usage:
+//
+//	volaserved -addr :8080 -data ./servedata &
+//	volaload -addr http://localhost:8080 -duration 5s -o BENCH_served.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/sweepreq"
+)
+
+// report is the JSON the driver emits.
+type report struct {
+	Exp            string  `json:"exp"`
+	JobID          string  `json:"job_id"`
+	ResultDigest   string  `json:"result_digest"`
+	WarmupSeconds  float64 `json:"warmup_seconds"`
+	Concurrency    int     `json:"concurrency"`
+	DurationSecs   float64 `json:"duration_seconds"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	SubmitP50Ms    float64 `json:"submit_p50_ms"`
+	SubmitP95Ms    float64 `json:"submit_p95_ms"`
+	SubmitP99Ms    float64 `json:"submit_p99_ms"`
+	ResultP50Ms    float64 `json:"result_p50_ms"`
+	ResultP95Ms    float64 `json:"result_p95_ms"`
+	ResultP99Ms    float64 `json:"result_p99_ms"`
+	GoVersion      string  `json:"go_version"`
+	Timestamp      string  `json:"timestamp"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "volaserved base URL")
+	exp := flag.String("exp", "table3x5", "sweep experiment to submit")
+	scenarios := flag.Int("scenarios", 1, "scenarios per cell")
+	trials := flag.Int("trials", 1, "trials per scenario")
+	seed := flag.Uint64("seed", 42, "sweep seed")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	concurrency := flag.Int("concurrency", 4, "concurrent client loops")
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	req := sweepreq.Request{Exp: *exp, Scenarios: *scenarios, Trials: *trials, Seed: *seed}
+	body, err := json.Marshal(req)
+	fatalIf(err)
+
+	// Warm-up: submit once and poll until the job is done, so the measured
+	// window contains only cache hits.
+	warmStart := time.Now()
+	id, err := submitOnce(*addr, body)
+	fatalIf(err)
+	digest, err := awaitDone(*addr, id, 10*time.Minute)
+	fatalIf(err)
+	warmup := time.Since(warmStart)
+
+	type sample struct{ submit, result time.Duration }
+	var mu sync.Mutex
+	var samples []sample
+	errs := 0
+
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for time.Now().Before(stopAt) {
+				var s sample
+				t0 := time.Now()
+				_, serr := submitWith(client, *addr, body)
+				s.submit = time.Since(t0)
+				t1 := time.Now()
+				rerr := fetchResult(client, *addr, id)
+				s.result = time.Since(t1)
+				mu.Lock()
+				if serr != nil || rerr != nil {
+					errs++
+				} else {
+					samples = append(samples, s)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	submits := make([]float64, len(samples))
+	results := make([]float64, len(samples))
+	for i, s := range samples {
+		submits[i] = float64(s.submit) / float64(time.Millisecond)
+		results[i] = float64(s.result) / float64(time.Millisecond)
+	}
+	rep := report{
+		Exp:            *exp,
+		JobID:          id,
+		ResultDigest:   digest,
+		WarmupSeconds:  warmup.Seconds(),
+		Concurrency:    *concurrency,
+		DurationSecs:   duration.Seconds(),
+		Requests:       2 * len(samples), // one submit + one result fetch per sample
+		Errors:         errs,
+		RequestsPerSec: float64(2*len(samples)) / duration.Seconds(),
+		SubmitP50Ms:    percentile(submits, 50),
+		SubmitP95Ms:    percentile(submits, 95),
+		SubmitP99Ms:    percentile(submits, 99),
+		ResultP50Ms:    percentile(results, 50),
+		ResultP95Ms:    percentile(results, 95),
+		ResultP99Ms:    percentile(results, 99),
+		GoVersion:      runtime.Version(),
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(rep))
+		return
+	}
+	fatalIf(atomicio.WriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}))
+	fmt.Printf("volaload: %d requests (%.0f req/s, %d errors) -> %s\n",
+		rep.Requests, rep.RequestsPerSec, rep.Errors, *out)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of values in ms.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func submitOnce(addr string, body []byte) (string, error) {
+	return submitWith(http.DefaultClient, addr, body)
+}
+
+func submitWith(client *http.Client, addr string, body []byte) (string, error) {
+	resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return "", err
+	}
+	return sr.ID, nil
+}
+
+// awaitDone polls the job status until it is done, returning the result
+// digest.
+func awaitDone(addr, id string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(addr + "/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		var st struct {
+			State        string `json:"state"`
+			ResultDigest string `json:"result_digest"`
+			Error        string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch st.State {
+		case "done":
+			return st.ResultDigest, nil
+		case "failed", "stopped":
+			return "", fmt.Errorf("warm-up job ended %s: %s", st.State, st.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return "", fmt.Errorf("warm-up job %s did not finish within %v", id, timeout)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volaload:", err)
+		os.Exit(1)
+	}
+}
+
+func fetchResult(client *http.Client, addr, id string) error {
+	resp, err := client.Get(addr + "/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: status %d", resp.StatusCode)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+// TestPercentile pins the nearest-rank percentile the report uses.
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single", []float64{7}, 99, 7},
+		{"median-odd", []float64{3, 1, 2}, 50, 2},
+		{"p95-of-100", seq(100), 95, 95},
+		{"p99-of-100", seq(100), 99, 99},
+		{"p50-of-100", seq(100), 50, 50},
+		{"unsorted-input", []float64{9, 1, 5}, 100, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := percentile(c.values, c.p); got != c.want {
+				t.Fatalf("percentile(%v, %v) = %v, want %v", c.values, c.p, got, c.want)
+			}
+		})
+	}
+}
+
+// TestPercentileDoesNotMutateInput pins that the report can reuse the
+// sample slice after computing several percentiles.
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("percentile sorted its input in place: %v", in)
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Command volaserved serves the sweep experiments over HTTP: submit any
+// sweep-family experiment as JSON, follow its progress and partial
+// aggregates as an event stream, and fetch the finished table with its
+// digest. Results are content-addressed by config digest, so identical
+// submissions are served from cache, and running jobs checkpoint to disk —
+// a restarted server resumes a resubmitted sweep from where it left off and
+// still lands on a bit-identical result digest.
+//
+// Usage:
+//
+//	volaserved -addr :8080 -data ./volaserved-data
+//
+// See EXPERIMENTS.md ("Sweep as a service") for the endpoint walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "volaserved-data", "directory for checkpoints and cached results")
+	maxJobs := flag.Int("max-jobs", 1, "sweeps running concurrently (each sweep is itself parallel)")
+	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in chunks (0 = library default)")
+	partial := flag.Duration("partial-interval", 2*time.Second, "how often running jobs re-read their checkpoint to stream partial aggregates")
+	shutdownTimeout := flag.Duration("shutdown-timeout", time.Minute, "grace period for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if *every < 0 {
+		fmt.Fprintf(os.Stderr, "volaserved: -checkpoint-every must be >= 0 (got %d)\n", *every)
+		os.Exit(2)
+	}
+	sched, err := jobs.New(jobs.Options{
+		DataDir:         *dataDir,
+		MaxConcurrent:   *maxJobs,
+		CheckpointEvery: *every,
+		PartialInterval: *partial,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volaserved:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(sched)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("volaserved: listening on %s (data: %s)\n", *addr, *dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "volaserved:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("volaserved: %v — checkpointing running jobs and draining\n", s)
+	}
+
+	// Stop sweeps first so their final checkpoints are committed, then
+	// drain HTTP: event streams end with the jobs, so Shutdown converges.
+	sched.Stop()
+	ctx, cancelCtx := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancelCtx()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "volaserved: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("volaserved: stopped; resubmit interrupted jobs after restart to resume them")
+}

@@ -126,20 +126,31 @@ func BatchSweep(cfg CompareConfig) (*SweepResult, error) {
 	return compareSharded(cfg, nil)
 }
 
-// compareSharded is the shared body of CompareSweep and BatchSweep:
-// heuristics may be empty, disciplines may not.
-func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error) {
-	discNames, discs, err := compareDisciplines(cfg.Disciplines)
+// comparePlan resolves the discipline list and canonicalizes the sweep into
+// its config digest, shared by compareSharded and CompareConfig.ConfigDigest.
+// CompareSweep and BatchSweep share this plan but are distinct sweeps: an
+// empty heuristic list (BatchSweep) hashes differently from any resolved
+// CompareSweep list, and the discipline names ride along as digest extras.
+func comparePlan(cfg CompareConfig, heuristics []string) (discNames []string, discs []batch.Discipline, digest string, err error) {
+	discNames, discs, err = compareDisciplines(cfg.Disciplines)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
-	// CompareSweep and BatchSweep share this body but are distinct sweeps:
-	// an empty heuristic list (BatchSweep) hashes differently from any
-	// resolved CompareSweep list, and the discipline names ride along as
-	// digest extras.
 	extra := make([]string, len(discNames))
 	for i, name := range discNames {
 		extra[i] = "discipline " + name
+	}
+	digest = sweepConfigDigest("comparesweep", cfg.Cells, heuristics,
+		cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...)
+	return discNames, discs, digest, nil
+}
+
+// compareSharded is the shared body of CompareSweep and BatchSweep:
+// heuristics may be empty, disciplines may not.
+func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error) {
+	discNames, discs, digest, err := comparePlan(cfg, heuristics)
+	if err != nil {
+		return nil, err
 	}
 	return runSharded(shardedSweep{
 		cells:     cfg.Cells,
@@ -150,8 +161,7 @@ func compareSharded(cfg CompareConfig, heuristics []string) (*SweepResult, error
 		workers:   cfg.Workers,
 		progress:  cfg.Progress,
 		control: sweepControl{
-			digest: sweepConfigDigest("comparesweep", cfg.Cells, heuristics,
-				cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...),
+			digest:          digest,
 			checkpoint:      cfg.Checkpoint,
 			stop:            cfg.Stop,
 			faults:          cfg.Faults,

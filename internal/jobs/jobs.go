@@ -1,0 +1,400 @@
+// Package jobs is the sweep-as-a-service scheduler behind cmd/volaserved: a
+// bounded-concurrency job table keyed by config digest, with a
+// content-addressed result cache, per-job event streams, and crash-safe
+// resume. A job IS its sweep's content address — submitting the same
+// request twice joins the running job or returns the cached result, and a
+// server restarted mid-job picks the sweep up from its checkpoint when the
+// request is resubmitted, landing on a bit-identical digest.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	volatile "repro"
+	"repro/internal/atomicio"
+	"repro/internal/sweepreq"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a concurrency slot.
+	StateQueued State = "queued"
+	// StateRunning: the sweep is executing.
+	StateRunning State = "running"
+	// StateDone: completed; the result is cached under the config digest.
+	StateDone State = "done"
+	// StateFailed: the sweep returned an error. Resubmitting restarts it
+	// (resuming from its checkpoint if one was written).
+	StateFailed State = "failed"
+	// StateStopped: interrupted by a stop request or server shutdown; the
+	// checkpoint holds the committed prefix. Resubmitting resumes it.
+	StateStopped State = "stopped"
+)
+
+// terminal reports whether the state ends the event stream.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateStopped
+}
+
+// Event is one entry of a job's append-only event log. Type is one of
+// queued, running, progress, partial, done, failed, stopped; the other
+// fields are populated per type.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// Done/Total count sweep instances (progress events and later).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// CommittedChunks/Chunks and Top come from the persisted checkpoint
+	// (partial events): the aggregates committed so far, bit-exactly.
+	CommittedChunks int                 `json:"committed_chunks,omitempty"`
+	Chunks          int                 `json:"chunks,omitempty"`
+	Instances       int                 `json:"instances,omitempty"`
+	Top             []volatile.TableRow `json:"top,omitempty"`
+	// ResultDigest is set on done events.
+	ResultDigest string `json:"result_digest,omitempty"`
+	// Error is set on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// CachedResult is the durable, JSON-serialized outcome of a completed job —
+// what GET /jobs/{id}/result returns and what DataDir/results/<digest>.json
+// stores. Format is the canonical full-precision rendering whose SHA-256 is
+// ResultDigest, so a client can re-verify the digest offline.
+type CachedResult struct {
+	ConfigDigest    string              `json:"config_digest"`
+	ResultDigest    string              `json:"result_digest"`
+	Exp             string              `json:"exp"`
+	Instances       int                 `json:"instances"`
+	Censored        int                 `json:"censored"`
+	FailedInstances int                 `json:"failed_instances"`
+	Overall         []volatile.TableRow `json:"overall"`
+	Format          string              `json:"format"`
+	Warnings        []string            `json:"warnings,omitempty"`
+	CompletedAt     time.Time           `json:"completed_at"`
+}
+
+// Status is the JSON view of a job for list/get endpoints.
+type Status struct {
+	ID           string    `json:"id"` // the config digest
+	Exp          string    `json:"exp"`
+	State        State     `json:"state"`
+	Done         int       `json:"done"`
+	Total        int       `json:"total"`
+	ResultDigest string    `json:"result_digest,omitempty"`
+	Error        string    `json:"error,omitempty"`
+	SubmittedAt  time.Time `json:"submitted_at"`
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// DataDir holds checkpoints/ and results/. Required.
+	DataDir string
+	// MaxConcurrent bounds simultaneously running sweeps (default 1: sweeps
+	// are already internally parallel across workers).
+	MaxConcurrent int
+	// CheckpointEvery is the chunk cadence passed to the sweep (0 = library
+	// default).
+	CheckpointEvery int
+	// PartialInterval is how often a running job's checkpoint is re-read to
+	// emit partial-aggregate events (default 2s; <0 disables).
+	PartialInterval time.Duration
+}
+
+// ErrShuttingDown rejects submissions after Stop has begun.
+var ErrShuttingDown = errors.New("jobs: scheduler is shutting down")
+
+// Scheduler owns the job table. All methods are safe for concurrent use.
+type Scheduler struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	sweepsStarted atomic.Int64
+}
+
+// New creates a Scheduler and its on-disk layout.
+func New(opts Options) (*Scheduler, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("jobs: Options.DataDir is required")
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 1
+	}
+	if opts.PartialInterval == 0 {
+		opts.PartialInterval = 2 * time.Second
+	}
+	for _, d := range []string{opts.DataDir, filepath.Join(opts.DataDir, "checkpoints"), filepath.Join(opts.DataDir, "results")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+	}
+	return &Scheduler{
+		opts: opts,
+		jobs: make(map[string]*Job),
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+	}, nil
+}
+
+// SweepsStarted reports how many sweep executions this scheduler actually
+// launched — the observable cache hits avoid.
+func (s *Scheduler) SweepsStarted() int64 { return s.sweepsStarted.Load() }
+
+func (s *Scheduler) checkpointPath(digest string) string {
+	return filepath.Join(s.opts.DataDir, "checkpoints", digest+".ckpt")
+}
+
+func (s *Scheduler) resultPath(digest string) string {
+	return filepath.Join(s.opts.DataDir, "results", digest+".json")
+}
+
+// Submit admits a request. The returned bool reports whether a sweep
+// execution was (re)started: false means the submission joined a live job
+// or was served entirely from the result cache.
+func (s *Scheduler) Submit(req sweepreq.Request) (*Job, bool, error) {
+	built, err := sweepreq.Build(req)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrShuttingDown
+	}
+	if j, ok := s.jobs[built.Digest]; ok {
+		j.mu.Lock()
+		st := j.state
+		if !st.terminal() || st == StateDone {
+			j.mu.Unlock()
+			return j, false, nil
+		}
+		// Failed or stopped: restart with a fresh stop channel and event
+		// epoch; the checkpoint (if any) makes the restart a resume.
+		j.stop = make(chan struct{})
+		j.setStateLocked(StateQueued, Event{Type: "queued"})
+		j.mu.Unlock()
+		s.launch(j)
+		return j, true, nil
+	}
+
+	j := newJob(built.Exp, built)
+	s.jobs[built.Digest] = j
+	if cached, err := s.loadResult(built.Digest); err == nil && cached.ConfigDigest == built.Digest {
+		j.completeFromCache(cached)
+		return j, false, nil
+	}
+	j.appendEvent(Event{Type: "queued"})
+	s.launch(j)
+	return j, true, nil
+}
+
+// Get returns the job for a config digest.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job's status, newest submission first.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.Status()
+	}
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].SubmittedAt.After(out[i].SubmittedAt) {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Result loads the cached result of a done job.
+func (s *Scheduler) Result(id string) (*CachedResult, error) {
+	return s.loadResult(id)
+}
+
+// StopJob requests a graceful stop of a queued or running job.
+func (s *Scheduler) StopJob(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.requestStop()
+	return true
+}
+
+// Stop begins shutdown: no new submissions, every live job is asked to
+// stop at its next chunk boundary (committing a final checkpoint), and
+// Stop returns when all job goroutines have drained.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.jobs {
+		j.requestStop()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// launch starts the job goroutine; the caller holds s.mu.
+func (s *Scheduler) launch(j *Job) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-j.stopChan():
+			j.finish(StateStopped, Event{Type: "stopped"})
+			return
+		}
+		s.run(j)
+	}()
+}
+
+// run executes the sweep with checkpointed resume and streams events.
+func (s *Scheduler) run(j *Job) {
+	s.sweepsStarted.Add(1)
+	j.setState(StateRunning, Event{Type: "running", Total: j.built.Instances})
+
+	ckPath := s.checkpointPath(j.Digest)
+	stopPartial := make(chan struct{})
+	var partialWG sync.WaitGroup
+	if s.opts.PartialInterval > 0 {
+		partialWG.Add(1)
+		go func() {
+			defer partialWG.Done()
+			s.pumpPartials(j, ckPath, stopPartial)
+		}()
+	}
+
+	// Progress throttle: at most ~200 events per sweep plus the final one.
+	step := j.built.Instances / 200
+	if step < 1 {
+		step = 1
+	}
+	res, err := j.built.Run(sweepreq.RunOpts{
+		Progress: func(done, total int) {
+			if done%step == 0 || done == total {
+				j.progress(done, total)
+			}
+		},
+		Checkpoint: &volatile.CheckpointConfig{
+			Path:   ckPath,
+			Every:  s.opts.CheckpointEvery,
+			Resume: true, // resubmit-after-restart IS the resume path
+		},
+		Stop: j.stopChan(),
+	})
+	close(stopPartial)
+	partialWG.Wait()
+
+	var ie *volatile.InterruptedError
+	switch {
+	case errors.As(err, &ie):
+		j.finish(StateStopped, Event{Type: "stopped", CommittedChunks: ie.Committed, Chunks: ie.Chunks})
+	case err != nil:
+		j.finish(StateFailed, Event{Type: "failed", Error: err.Error()})
+	default:
+		cached := &CachedResult{
+			ConfigDigest:    j.Digest,
+			ResultDigest:    res.Digest(),
+			Exp:             j.Exp,
+			Instances:       res.Instances,
+			Censored:        res.Censored,
+			FailedInstances: res.FailedInstances,
+			Overall:         res.Overall,
+			Format:          res.Format(),
+			Warnings:        res.Warnings,
+			CompletedAt:     time.Now().UTC(),
+		}
+		if werr := s.storeResult(cached); werr != nil {
+			j.finish(StateFailed, Event{Type: "failed", Error: werr.Error()})
+			return
+		}
+		// The checkpoint is subsumed by the cached result; keep the data
+		// dir from accumulating one per completed sweep.
+		os.Remove(ckPath)
+		j.setResult(cached)
+		j.finish(StateDone, Event{
+			Type: "done", Done: res.Instances, Total: j.built.Instances,
+			Instances: res.Instances, ResultDigest: cached.ResultDigest,
+		})
+	}
+}
+
+// pumpPartials re-reads the job's checkpoint while it runs and emits a
+// partial event whenever the committed watermark advances.
+func (s *Scheduler) pumpPartials(j *Job, ckPath string, stop <-chan struct{}) {
+	t := time.NewTicker(s.opts.PartialInterval)
+	defer t.Stop()
+	last := -1
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		st, err := volatile.ReadCheckpoint(ckPath)
+		if err != nil || st.CommittedChunks <= last {
+			continue // no checkpoint yet, or no progress since the last tick
+		}
+		last = st.CommittedChunks
+		top := st.Partial.Overall
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		j.appendEvent(Event{
+			Type:            "partial",
+			CommittedChunks: st.CommittedChunks,
+			Chunks:          st.Chunks,
+			Instances:       st.Partial.Instances,
+			Top:             top,
+		})
+	}
+}
+
+func (s *Scheduler) storeResult(c *CachedResult) error {
+	return atomicio.WriteFile(s.resultPath(c.ConfigDigest), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(c)
+	})
+}
+
+func (s *Scheduler) loadResult(digest string) (*CachedResult, error) {
+	data, err := os.ReadFile(s.resultPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	var c CachedResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("jobs: corrupt cached result %s: %w", digest, err)
+	}
+	return &c, nil
+}

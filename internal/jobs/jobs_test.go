@@ -1,0 +1,295 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sweepreq"
+)
+
+// fastReq is the cheapest real sweep (1 cell × 1 scenario × 1 trial).
+func fastReq() sweepreq.Request {
+	return sweepreq.Request{Exp: "table3x5", Scenarios: 1, Trials: 1, Seed: 11}
+}
+
+// slowReq has enough chunk boundaries (10) to stop mid-flight reliably.
+func slowReq() sweepreq.Request {
+	return sweepreq.Request{Exp: "table3x5", Scenarios: 10, Trials: 4, Seed: 11}
+}
+
+func newTestScheduler(t *testing.T, dir string, partial time.Duration) *Scheduler {
+	t.Helper()
+	s, err := New(Options{DataDir: dir, CheckpointEvery: 1, PartialInterval: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// drain reads events until the stream closes, returning them all.
+func drain(t *testing.T, j *Job) []Event {
+	t.Helper()
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	var evs []Event
+	deadline := time.After(2 * time.Minute)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return evs
+			}
+			evs = append(evs, ev)
+		case <-deadline:
+			t.Fatalf("job %s did not reach a terminal state (events so far: %+v)", j.Digest, evs)
+		}
+	}
+}
+
+func lastType(evs []Event) string {
+	if len(evs) == 0 {
+		return ""
+	}
+	return evs[len(evs)-1].Type
+}
+
+// TestSubmitRunsToDoneAndCaches pins the basic lifecycle: queued → running
+// → progress → done, a result cached on disk under the config digest, and
+// the checkpoint cleaned up after success.
+func TestSubmitRunsToDoneAndCaches(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir, -1)
+	defer s.Stop()
+
+	j, started, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !started {
+		t.Fatal("first submission did not start a sweep")
+	}
+	evs := drain(t, j)
+	if lastType(evs) != "done" {
+		t.Fatalf("terminal event %q, want done (events: %+v)", lastType(evs), evs)
+	}
+	if j.State() != StateDone {
+		t.Fatalf("state %s, want done", j.State())
+	}
+	types := map[string]bool{}
+	for _, ev := range evs {
+		types[ev.Type] = true
+	}
+	for _, want := range []string{"queued", "running", "progress", "done"} {
+		if !types[want] {
+			t.Fatalf("event log missing %q: %+v", want, evs)
+		}
+	}
+
+	res, err := s.Result(j.Digest)
+	if err != nil {
+		t.Fatalf("no cached result after done: %v", err)
+	}
+	if res.ConfigDigest != j.Digest || res.ResultDigest == "" || res.Format == "" {
+		t.Fatalf("cached result incomplete: %+v", res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", j.Digest+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived a successful sweep (err=%v)", err)
+	}
+}
+
+// TestCacheHitDoesNoSweepWork pins the content-addressed cache: the second
+// identical submission joins as done without launching anything, in the
+// same process and — via a fresh scheduler over the same data dir — across
+// a restart.
+func TestCacheHitDoesNoSweepWork(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir, -1)
+	j1, _, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j1)
+	if n := s.SweepsStarted(); n != 1 {
+		t.Fatalf("SweepsStarted = %d after first run, want 1", n)
+	}
+
+	j2, started, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started || j2 != j1 {
+		t.Fatalf("second submission started=%v sameJob=%v, want false/true", started, j2 == j1)
+	}
+	if n := s.SweepsStarted(); n != 1 {
+		t.Fatalf("SweepsStarted = %d after cache hit, want 1", n)
+	}
+	s.Stop()
+
+	// A fresh scheduler over the same data dir serves it from disk.
+	s2 := newTestScheduler(t, dir, -1)
+	defer s2.Stop()
+	j3, started, err := s2.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started || j3.State() != StateDone {
+		t.Fatalf("restarted scheduler: started=%v state=%s, want cache hit", started, j3.State())
+	}
+	evs := drain(t, j3)
+	if lastType(evs) != "done" {
+		t.Fatalf("cache-hit job stream ends with %q, want done", lastType(evs))
+	}
+	if n := s2.SweepsStarted(); n != 0 {
+		t.Fatalf("restarted scheduler ran %d sweeps for a cached result", n)
+	}
+}
+
+// TestStopResumeBitIdentical is the acceptance property at scheduler level:
+// a job stopped mid-flight, with its scheduler shut down, resumes on a
+// fresh scheduler over the same data dir and lands on the digest of an
+// uninterrupted run.
+func TestStopResumeBitIdentical(t *testing.T) {
+	// Uninterrupted reference, no scheduler involved.
+	built, err := sweepreq.Build(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := built.Run(sweepreq.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Digest()
+
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir, -1)
+	j, _, err := s.Submit(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at the first progress event; the committer notices at the next
+	// chunk boundary and persists the committed prefix.
+	ch, cancel := j.Subscribe()
+	for ev := range ch {
+		if ev.Type == "progress" {
+			s.StopJob(j.Digest)
+			break
+		}
+	}
+	cancel()
+	evs := drain(t, j)
+	if lastType(evs) != "stopped" {
+		t.Fatalf("terminal event %q, want stopped (events: %+v)", lastType(evs), evs)
+	}
+	stopEv := evs[len(evs)-1]
+	if stopEv.CommittedChunks <= 0 || stopEv.CommittedChunks >= stopEv.Chunks {
+		t.Fatalf("stopped event committed %d/%d, want a strict prefix", stopEv.CommittedChunks, stopEv.Chunks)
+	}
+	s.Stop()
+
+	s2 := newTestScheduler(t, dir, -1)
+	defer s2.Stop()
+	j2, started, err := s2.Submit(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !started {
+		t.Fatal("resubmission after stop did not restart the sweep")
+	}
+	if lastType(drain(t, j2)) != "done" {
+		t.Fatalf("resumed job ended %q, want done", j2.State())
+	}
+	res, err := s2.Result(j2.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultDigest != want {
+		t.Fatalf("resumed result digest %s != uninterrupted %s", res.ResultDigest, want)
+	}
+}
+
+// TestPartialEventsStreamCommittedAggregates pins the partial stream: with
+// a fast re-read interval, a running job emits partial events whose chunk
+// watermark advances and whose Top rows carry real aggregates.
+func TestPartialEventsStreamCommittedAggregates(t *testing.T) {
+	s := newTestScheduler(t, t.TempDir(), 20*time.Millisecond)
+	defer s.Stop()
+	j, _, err := s.Submit(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(t, j)
+	if lastType(evs) != "done" {
+		t.Fatalf("terminal event %q, want done", lastType(evs))
+	}
+	var partials []Event
+	for _, ev := range evs {
+		if ev.Type == "partial" {
+			partials = append(partials, ev)
+		}
+	}
+	if len(partials) == 0 {
+		t.Fatalf("no partial events at a 20ms interval (events: %+v)", evs)
+	}
+	last := 0
+	for _, p := range partials {
+		if p.CommittedChunks <= last-1 || p.Chunks == 0 || p.Instances == 0 || len(p.Top) == 0 {
+			t.Fatalf("malformed partial event: %+v", p)
+		}
+		if p.CommittedChunks < last {
+			t.Fatalf("partial watermark went backwards: %+v", partials)
+		}
+		last = p.CommittedChunks
+	}
+}
+
+// TestSubmitRejectsInvalidAndNonSweep pins that validation errors surface
+// at submission, not as failed jobs.
+func TestSubmitRejectsInvalidAndNonSweep(t *testing.T) {
+	s := newTestScheduler(t, t.TempDir(), -1)
+	defer s.Stop()
+	if _, _, err := s.Submit(sweepreq.Request{Exp: "ablation"}); err == nil {
+		t.Fatal("non-sweep experiment was admitted")
+	}
+	if _, _, err := s.Submit(sweepreq.Request{Exp: "table2", Scenarios: -1}); err == nil {
+		t.Fatal("invalid request was admitted")
+	}
+	if n := s.SweepsStarted(); n != 0 {
+		t.Fatalf("rejected submissions started %d sweeps", n)
+	}
+}
+
+// TestSchedulerStopInterruptsQueuedAndRunning pins shutdown: Stop drains
+// every job into a terminal state and later submissions are refused.
+func TestSchedulerStopInterruptsQueuedAndRunning(t *testing.T) {
+	s := newTestScheduler(t, t.TempDir(), -1)
+	// MaxConcurrent is 1, so the second job is queued behind the first.
+	j1, _, err := s.Submit(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2 := slowReq()
+	req2.Seed = 99
+	j2, _, err := s.Submit(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first job make some progress before shutdown.
+	ch, cancel := j1.Subscribe()
+	for ev := range ch {
+		if ev.Type == "progress" {
+			break
+		}
+	}
+	cancel()
+	s.Stop()
+	for _, j := range []*Job{j1, j2} {
+		if st := j.State(); !st.terminal() {
+			t.Fatalf("job %s left in state %s after Stop", j.Digest, st)
+		}
+	}
+	if _, _, err := s.Submit(fastReq()); err != ErrShuttingDown {
+		t.Fatalf("post-Stop submission returned %v, want ErrShuttingDown", err)
+	}
+}

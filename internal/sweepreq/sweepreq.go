@@ -1,0 +1,325 @@
+// Package sweepreq is the shared CLI/service request layer for the sweep
+// experiments: one Request struct describing any sweep-family submission
+// with the same knobs (and the same validation messages) volabench exposes
+// as flags, plus the construction of the matching volatile config and its
+// canonical content digest. cmd/volabench parses flags into a Request;
+// cmd/volaserved unmarshals the same shape from JSON — both then share
+// validation, config construction and digesting, so a sweep submitted
+// either way produces the same result under the same content address.
+package sweepreq
+
+import (
+	"fmt"
+	"strings"
+
+	volatile "repro"
+	"repro/internal/faultinject"
+)
+
+// experiments lists every -exp value the CLI dispatches on, in the order
+// the usage text presents them. sweepExperiments is the subset that runs
+// through the sharded sweep pipeline — the ones that support the durability
+// flags and that the sweep service accepts. The other experiments
+// (ablation, emctgain*) run several sweeps or none and exist only as CLI
+// conveniences.
+var experiments = []string{
+	"table2", "figure2", "table3x5", "table3x10",
+	"ablation", "emctgain", "emctgain-norepl", "tracesweep", "dfrs",
+	"largep",
+}
+
+var sweepExperiments = []string{
+	"table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep",
+}
+
+// Experiments returns every valid experiment name, in usage order.
+func Experiments() []string { return append([]string(nil), experiments...) }
+
+// SweepExperiments returns the experiments that run through the sharded
+// sweep pipeline (checkpointable, streamable, servable).
+func SweepExperiments() []string { return append([]string(nil), sweepExperiments...) }
+
+// IsSweep reports whether exp runs through the sharded sweep pipeline.
+func IsSweep(exp string) bool {
+	for _, e := range sweepExperiments {
+		if exp == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Request describes one sweep-family submission. Field names mirror the
+// volabench flags; JSON tags are the service's wire format. The zero value
+// of an optional field means "use the experiment default" (WithDefaults
+// makes those defaults explicit — the same ones the volabench flags carry).
+type Request struct {
+	// Exp names the experiment (table2, figure2, table3x5, table3x10,
+	// tracesweep, dfrs, largep; the CLI additionally runs ablation and
+	// emctgain*, which Build rejects).
+	Exp string `json:"exp"`
+	// Mode is the engine time base: "slot" (default) or "event".
+	Mode string `json:"mode,omitempty"`
+	// Scenarios and Trials scale the sweep (defaults 6 and 4, the
+	// volabench flag defaults; the paper uses 247 × 10).
+	Scenarios int `json:"scenarios,omitempty"`
+	Trials    int `json:"trials,omitempty"`
+	// Procs overrides the platform size (0 = experiment default; largep
+	// defaults to 1000).
+	Procs int `json:"p,omitempty"`
+	// Seed makes the sweep reproducible (default 0).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds sweep parallelism (0 = all cores). Excluded from the
+	// config digest: results are bit-identical for any worker count.
+	Workers int `json:"workers,omitempty"`
+	// TraceStyle, TraceLen and TraceFiles configure tracesweep (ignored by
+	// the other experiments; TraceFiles is rejected outside tracesweep
+	// because replacing the availability source silently would be a trap).
+	TraceStyle string   `json:"trace_style,omitempty"`
+	TraceLen   int      `json:"trace_len,omitempty"`
+	TraceFiles []string `json:"trace_files,omitempty"`
+	// Retries and ContinueOnError set the failure policy (excluded from
+	// the digest: a recovered sweep is bit-identical to an undisturbed one).
+	Retries         int  `json:"retries,omitempty"`
+	ContinueOnError bool `json:"continue_on_error,omitempty"`
+}
+
+// WithDefaults returns the request with unset optional knobs replaced by
+// the volabench flag defaults, so a minimal service submission and a
+// flag-default CLI run canonicalize to the same digest.
+func (r Request) WithDefaults() Request {
+	if r.Mode == "" {
+		r.Mode = "slot"
+	}
+	if r.Scenarios == 0 {
+		r.Scenarios = 6
+	}
+	if r.Trials == 0 {
+		r.Trials = 4
+	}
+	if r.TraceStyle == "" {
+		r.TraceStyle = "weibull"
+	}
+	if r.TraceLen == 0 {
+		r.TraceLen = 1000
+	}
+	return r
+}
+
+// Validate rejects unusable requests up front with flag-flavoured messages
+// (the service's JSON fields are named after the flags, so the messages
+// read correctly on both surfaces). It does not apply defaults: a zero
+// Scenarios is an error here, exactly as `-scenarios 0` is on the CLI.
+func (r Request) Validate() error {
+	if r.Scenarios <= 0 {
+		return fmt.Errorf("-scenarios must be positive (got %d)", r.Scenarios)
+	}
+	if r.Trials <= 0 {
+		return fmt.Errorf("-trials must be positive (got %d)", r.Trials)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, where 0 means all cores (got %d)", r.Workers)
+	}
+	if r.Procs < 0 {
+		return fmt.Errorf("-p must be >= 0, where 0 means the experiment default (got %d)", r.Procs)
+	}
+	if r.Retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d)", r.Retries)
+	}
+	if _, err := volatile.ParseMode(r.Mode); err != nil {
+		return fmt.Errorf("unknown mode %q (valid: %s)", r.Mode, strings.Join(volatile.ModeNames(), ", "))
+	}
+	known := false
+	for _, e := range experiments {
+		if r.Exp == e {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", r.Exp, strings.Join(experiments, ", "))
+	}
+	if len(r.TraceFiles) > 0 && r.Exp != "tracesweep" {
+		return fmt.Errorf("-trace-file applies only to -exp tracesweep (got -exp %s)", r.Exp)
+	}
+	if r.Exp == "tracesweep" {
+		if _, err := ParseTraceStyle(r.TraceStyle); r.TraceStyle != "" && err != nil {
+			return err
+		}
+		if r.TraceLen != 0 && r.TraceLen < 2 && len(r.TraceFiles) == 0 {
+			return fmt.Errorf("-trace-len must be >= 2 to fit models (got %d)", r.TraceLen)
+		}
+	}
+	return nil
+}
+
+// ParseTraceStyle resolves a sojourn-family name.
+func ParseTraceStyle(name string) (volatile.TraceStyle, error) {
+	switch name {
+	case "weibull":
+		return volatile.TraceWeibull, nil
+	case "pareto":
+		return volatile.TracePareto, nil
+	case "lognormal":
+		return volatile.TraceLogNormal, nil
+	}
+	return 0, fmt.Errorf("unknown trace style %q (weibull|pareto|lognormal)", name)
+}
+
+// RunOpts carries the per-execution knobs a caller wires into a built
+// sweep: progress reporting, checkpoint placement, graceful stop and fault
+// injection. None of them affect the result (or the digest).
+type RunOpts struct {
+	Progress   func(done, total int)
+	Checkpoint *volatile.CheckpointConfig
+	Stop       <-chan struct{}
+	Faults     *faultinject.Plan
+}
+
+// Built is a validated, constructed sweep: its canonical content digest
+// (the result-cache / checkpoint key), the resolved fractional heuristic
+// list, the total instance count, and a Run closure executing it through
+// the matching volatile entry point.
+type Built struct {
+	// Exp echoes the experiment name.
+	Exp string
+	// Digest is the canonical config digest (ConfigDigest of the built
+	// config) — equal digests mean bit-identical results.
+	Digest string
+	// Heuristics is the resolved fractional heuristic list (what figure2
+	// plots, what the tables rank; dfrs adds the batch disciplines on top).
+	Heuristics []string
+	// Instances is cells × scenarios × trials, the total the Progress
+	// callback counts toward.
+	Instances int
+	// Run executes the sweep. It may be called at most once per checkpoint
+	// lifecycle but is otherwise stateless: every call re-runs (or, with
+	// Checkpoint.Resume, continues) the identical sweep.
+	Run func(RunOpts) (*volatile.SweepResult, error)
+}
+
+// Build validates the request, applies defaults, constructs the matching
+// sweep config and returns its digest and runner. Non-sweep experiments
+// (ablation, emctgain*) are rejected: they are CLI compositions, not single
+// checkpointable sweeps.
+func Build(r Request) (*Built, error) {
+	r = r.WithDefaults()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if !IsSweep(r.Exp) {
+		return nil, fmt.Errorf("experiment %q does not run through the sweep pipeline (sweep experiments: %s)",
+			r.Exp, strings.Join(sweepExperiments, ", "))
+	}
+	mode, err := volatile.ParseMode(r.Mode)
+	if err != nil {
+		return nil, err
+	}
+
+	switch r.Exp {
+	case "tracesweep":
+		style, err := ParseTraceStyle(r.TraceStyle)
+		if err != nil {
+			return nil, err
+		}
+		cfg := volatile.TraceSweepConfig{
+			Cells:      volatile.PaperGrid(),
+			Scenarios:  r.Scenarios,
+			Trials:     r.Trials,
+			TraceLen:   r.TraceLen,
+			Style:      style,
+			TraceFiles: r.TraceFiles,
+			Options:    volatile.ScenarioOptions{Processors: r.Procs},
+			Mode:       mode,
+			Seed:       r.Seed,
+			Workers:    r.Workers,
+		}
+		cfg.MaxRetries, cfg.ContinueOnError = r.Retries, r.ContinueOnError
+		digest, err := cfg.ConfigDigest()
+		if err != nil {
+			return nil, err
+		}
+		return &Built{
+			Exp:        r.Exp,
+			Digest:     digest,
+			Heuristics: volatile.Heuristics(),
+			Instances:  len(cfg.Cells) * r.Scenarios * r.Trials,
+			Run: func(o RunOpts) (*volatile.SweepResult, error) {
+				c := cfg
+				c.Progress, c.Checkpoint, c.Stop, c.Faults = o.Progress, o.Checkpoint, o.Stop, o.Faults
+				return volatile.TraceSweep(c)
+			},
+		}, nil
+
+	case "dfrs":
+		cfg := volatile.CompareConfig{
+			Cells:     volatile.PaperGrid(),
+			Scenarios: r.Scenarios,
+			Trials:    r.Trials,
+			Options:   volatile.ScenarioOptions{Processors: r.Procs},
+			Mode:      mode,
+			Seed:      r.Seed,
+			Workers:   r.Workers,
+		}
+		cfg.MaxRetries, cfg.ContinueOnError = r.Retries, r.ContinueOnError
+		digest, err := cfg.ConfigDigest()
+		if err != nil {
+			return nil, err
+		}
+		return &Built{
+			Exp:        r.Exp,
+			Digest:     digest,
+			Heuristics: volatile.Heuristics(),
+			Instances:  len(cfg.Cells) * r.Scenarios * r.Trials,
+			Run: func(o RunOpts) (*volatile.SweepResult, error) {
+				c := cfg
+				c.Progress, c.Checkpoint, c.Stop, c.Faults = o.Progress, o.Checkpoint, o.Stop, o.Faults
+				return volatile.CompareSweep(c)
+			},
+		}, nil
+
+	default:
+		var cfg volatile.SweepConfig
+		switch r.Exp {
+		case "table2":
+			cfg = volatile.Table2Config(r.Scenarios, r.Trials, r.Seed)
+			cfg.Options.Processors = r.Procs
+		case "figure2":
+			cfg = volatile.Figure2Config(r.Scenarios, r.Trials, r.Seed)
+			cfg.Options.Processors = r.Procs
+		case "table3x5":
+			cfg = volatile.Table3Config(5, r.Scenarios, r.Trials, r.Seed)
+			cfg.Options.Processors = r.Procs
+		case "table3x10":
+			cfg = volatile.Table3Config(10, r.Scenarios, r.Trials, r.Seed)
+			cfg.Options.Processors = r.Procs
+		case "largep":
+			p := r.Procs
+			if p == 0 {
+				p = 1000
+			}
+			cfg = volatile.LargePConfig(p, r.Scenarios, r.Trials, r.Seed)
+		}
+		cfg.Mode, cfg.Workers = mode, r.Workers
+		cfg.MaxRetries, cfg.ContinueOnError = r.Retries, r.ContinueOnError
+		digest, err := cfg.ConfigDigest()
+		if err != nil {
+			return nil, err
+		}
+		heur := cfg.Heuristics
+		if len(heur) == 0 {
+			heur = volatile.Heuristics()
+		}
+		return &Built{
+			Exp:        r.Exp,
+			Digest:     digest,
+			Heuristics: heur,
+			Instances:  len(cfg.Cells) * r.Scenarios * r.Trials,
+			Run: func(o RunOpts) (*volatile.SweepResult, error) {
+				c := cfg
+				c.Progress, c.Checkpoint, c.Stop, c.Faults = o.Progress, o.Checkpoint, o.Stop, o.Faults
+				return volatile.RunSweep(c)
+			},
+		}, nil
+	}
+}

@@ -1,0 +1,186 @@
+package sweepreq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateTable pins the request validation contract: the same inputs
+// volabench rejects from flags are rejected here with the same
+// flag-flavoured messages, since the service unmarshals this struct from
+// JSON and replays the errors verbatim.
+func TestValidateTable(t *testing.T) {
+	ok := Request{Exp: "table2", Mode: "slot", Scenarios: 6, Trials: 4}
+	cases := []struct {
+		name    string
+		mutate  func(r Request) Request
+		wantErr string // substring; empty = valid
+	}{
+		{"baseline", func(r Request) Request { return r }, ""},
+		{"event-mode", func(r Request) Request { r.Mode = "event"; return r }, ""},
+		{"tracesweep", func(r Request) Request {
+			r.Exp, r.TraceStyle, r.TraceLen = "tracesweep", "pareto", 500
+			return r
+		}, ""},
+		{"trace-files", func(r Request) Request {
+			r.Exp, r.TraceFiles = "tracesweep", []string{"a.trace"}
+			return r
+		}, ""},
+
+		{"zero-scenarios", func(r Request) Request { r.Scenarios = 0; return r }, "-scenarios must be positive"},
+		{"negative-trials", func(r Request) Request { r.Trials = -1; return r }, "-trials must be positive"},
+		{"negative-workers", func(r Request) Request { r.Workers = -2; return r }, "-workers must be >= 0"},
+		{"negative-procs", func(r Request) Request { r.Procs = -1; return r }, "-p must be >= 0"},
+		{"negative-retries", func(r Request) Request { r.Retries = -1; return r }, "-retries must be >= 0"},
+		{"bad-mode", func(r Request) Request { r.Mode = "warp"; return r }, `unknown mode "warp"`},
+		{"bad-exp", func(r Request) Request { r.Exp = "table9"; return r }, `unknown experiment "table9"`},
+		{"trace-files-elsewhere", func(r Request) Request {
+			r.TraceFiles = []string{"a.trace"}
+			return r
+		}, "-trace-file applies only to -exp tracesweep"},
+		{"bad-trace-style", func(r Request) Request {
+			r.Exp, r.TraceStyle = "tracesweep", "zipf"
+			return r
+		}, `unknown trace style "zipf"`},
+		{"short-trace-len", func(r Request) Request {
+			r.Exp, r.TraceLen = "tracesweep", 1
+			return r
+		}, "-trace-len must be >= 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.mutate(ok).Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestBuildRejectsNonSweepExperiments pins that the CLI-only compositions
+// cannot be submitted to the service path.
+func TestBuildRejectsNonSweepExperiments(t *testing.T) {
+	for _, exp := range []string{"ablation", "emctgain", "emctgain-norepl"} {
+		_, err := Build(Request{Exp: exp})
+		if err == nil || !strings.Contains(err.Error(), "does not run through the sweep pipeline") {
+			t.Fatalf("Build(%q) = %v, want sweep-pipeline rejection", exp, err)
+		}
+	}
+}
+
+// TestBuildAppliesDefaults pins canonicalization: a minimal request and one
+// spelling out the flag defaults build to the same content digest, so cache
+// hits do not depend on how explicitly the client filled in the JSON.
+func TestBuildAppliesDefaults(t *testing.T) {
+	minimal, err := Build(Request{Exp: "table3x5"})
+	if err != nil {
+		t.Fatalf("Build(minimal) error: %v", err)
+	}
+	explicit, err := Build(Request{
+		Exp: "table3x5", Mode: "slot", Scenarios: 6, Trials: 4,
+		TraceStyle: "weibull", TraceLen: 1000,
+	})
+	if err != nil {
+		t.Fatalf("Build(explicit) error: %v", err)
+	}
+	if minimal.Digest != explicit.Digest {
+		t.Fatalf("defaulted digest %s != explicit digest %s", minimal.Digest, explicit.Digest)
+	}
+	if minimal.Instances != explicit.Instances || minimal.Instances != 24 {
+		t.Fatalf("Instances = %d/%d, want 24 (1 cell x 6 scenarios x 4 trials)",
+			minimal.Instances, explicit.Instances)
+	}
+}
+
+// TestBuildDigestSeparatesConfigs pins that anything result-affecting moves
+// the digest while execution-only knobs do not.
+func TestBuildDigestSeparatesConfigs(t *testing.T) {
+	base := Request{Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 7}
+	ref, err := Build(base)
+	if err != nil {
+		t.Fatalf("Build(base) error: %v", err)
+	}
+	differ := map[string]Request{
+		"seed":      {Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 8},
+		"trials":    {Exp: "table3x5", Scenarios: 2, Trials: 2, Seed: 7},
+		"exp":       {Exp: "table3x10", Scenarios: 2, Trials: 1, Seed: 7},
+		"mode":      {Exp: "table3x5", Mode: "event", Scenarios: 2, Trials: 1, Seed: 7},
+		"processor": {Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 7, Procs: 8},
+	}
+	for name, r := range differ {
+		b, err := Build(r)
+		if err != nil {
+			t.Fatalf("Build(%s) error: %v", name, err)
+		}
+		if b.Digest == ref.Digest {
+			t.Fatalf("%s change did not move the digest (%s)", name, ref.Digest)
+		}
+	}
+	same := map[string]Request{
+		"workers": {Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 7, Workers: 3},
+		"retries": {Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 7, Retries: 2, ContinueOnError: true},
+	}
+	for name, r := range same {
+		b, err := Build(r)
+		if err != nil {
+			t.Fatalf("Build(%s) error: %v", name, err)
+		}
+		if b.Digest != ref.Digest {
+			t.Fatalf("execution-only knob %s moved the digest: %s != %s", name, b.Digest, ref.Digest)
+		}
+	}
+}
+
+// TestBuildRunMatchesDigestContract runs the cheapest sweep twice and pins
+// that equal config digests deliver bit-identical results.
+func TestBuildRunMatchesDigestContract(t *testing.T) {
+	req := Request{Exp: "table3x5", Scenarios: 2, Trials: 1, Seed: 3}
+	a, err := Build(req)
+	if err != nil {
+		t.Fatalf("Build error: %v", err)
+	}
+	resA, err := a.Run(RunOpts{})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	b, err := Build(req)
+	if err != nil {
+		t.Fatalf("Build error: %v", err)
+	}
+	if b.Digest != a.Digest {
+		t.Fatalf("config digest not stable: %s != %s", b.Digest, a.Digest)
+	}
+	resB, err := b.Run(RunOpts{Progress: func(done, total int) {}})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if resA.Digest() != resB.Digest() {
+		t.Fatalf("equal config digests, different results: %s != %s", resA.Digest(), resB.Digest())
+	}
+}
+
+// TestSweepExperimentsAllBuild pins that every advertised sweep experiment
+// actually builds (construction, heuristics resolution, digesting) from a
+// minimal request.
+func TestSweepExperimentsAllBuild(t *testing.T) {
+	seen := map[string]bool{}
+	for _, exp := range SweepExperiments() {
+		b, err := Build(Request{Exp: exp, Scenarios: 1, Trials: 1})
+		if err != nil {
+			t.Fatalf("Build(%q) error: %v", exp, err)
+		}
+		if b.Digest == "" || b.Instances <= 0 || len(b.Heuristics) == 0 {
+			t.Fatalf("Build(%q) = %+v, want digest/instances/heuristics populated", exp, b)
+		}
+		if seen[b.Digest] {
+			t.Fatalf("experiment %q shares a digest with another experiment", exp)
+		}
+		seen[b.Digest] = true
+	}
+}

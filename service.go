@@ -1,0 +1,107 @@
+package volatile
+
+// Service surface for long-running frontends (cmd/volaserved): exported
+// content addresses for sweep configs and read access to checkpoint files,
+// so a server can key a result cache on exactly the digest the checkpoint
+// layer binds resumes to, and can report partial aggregates from the
+// committer's persisted state while a job is still running.
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// ConfigDigest returns the sweep's canonical content address: the SHA-256
+// digest of everything that determines its numeric output (flavour, cells,
+// resolved heuristics, scenario/trial counts, options, mode, seed).
+// Execution knobs that cannot change the result — Workers, Progress,
+// checkpoint placement, retry policy, fault plans — are excluded, so equal
+// digests mean equal results regardless of how the sweep is executed. It is
+// the same digest checkpoints are bound to: a content-addressed result
+// cache keyed on it is automatically coherent with crash/resume.
+func (cfg SweepConfig) ConfigDigest() (string, error) {
+	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
+	if err != nil {
+		return "", err
+	}
+	return sweepConfigDigest("runsweep", cfg.Cells, heuristics,
+		cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed), nil
+}
+
+// ConfigDigest returns the trace sweep's canonical content address; see
+// SweepConfig.ConfigDigest. Recorded trace files are content-hashed, so two
+// configs naming different files with identical vectors share a digest, and
+// an edited file changes it.
+func (cfg TraceSweepConfig) ConfigDigest() (string, error) {
+	plan, err := traceSweepPlan(cfg)
+	if err != nil {
+		return "", err
+	}
+	return plan.digest, nil
+}
+
+// ConfigDigest returns the comparison sweep's canonical content address as
+// run by CompareSweep (fractional heuristics plus batch disciplines); see
+// SweepConfig.ConfigDigest.
+func (cfg CompareConfig) ConfigDigest() (string, error) {
+	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
+	if err != nil {
+		return "", err
+	}
+	_, _, digest, err := comparePlan(cfg, heuristics)
+	if err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// CheckpointStatus is the read-only view of a sweep checkpoint file: which
+// sweep it belongs to, how far the committer got, and the aggregates it had
+// committed — a bit-exact partial SweepResult.
+type CheckpointStatus struct {
+	// ConfigDigest identifies the sweep the checkpoint was taken for
+	// (compare against ConfigDigest of the config).
+	ConfigDigest string
+	// CommittedChunks and Chunks report progress: chunks [0, CommittedChunks)
+	// of Chunks are covered by Partial.
+	CommittedChunks, Chunks int
+	// Partial holds the committed aggregates as a SweepResult. Its rows are
+	// restored bit-exactly, so a checkpoint written at completion formats
+	// (and digests) identically to the result the sweep returned.
+	Partial *SweepResult
+}
+
+// ReadCheckpoint loads a sweep checkpoint file without resuming it: the
+// inspection path behind progress endpoints and partial-aggregate streams.
+// The file is validated (version, checksum) exactly as a resume would.
+func ReadCheckpoint(path string) (*CheckpointStatus, error) {
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	overall, byWmin, byCell, err := restoreSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("volatile: checkpoint %s: %w", path, err)
+	}
+	res := &SweepResult{
+		Instances:       overall.Instances(),
+		Overall:         overall.Rows(),
+		ByWmin:          make(map[int][]TableRow, len(byWmin)),
+		ByCell:          make(map[Cell][]TableRow, len(byCell)),
+		Censored:        snap.Censored,
+		FailedInstances: snap.Failed,
+	}
+	for wmin, agg := range byWmin {
+		res.ByWmin[wmin] = agg.Rows()
+	}
+	for cell, agg := range byCell {
+		res.ByCell[cell] = agg.Rows()
+	}
+	return &CheckpointStatus{
+		ConfigDigest:    snap.ConfigDigest,
+		CommittedChunks: snap.NextChunk,
+		Chunks:          snap.Chunks,
+		Partial:         res,
+	}, nil
+}

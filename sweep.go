@@ -252,6 +252,11 @@ func runSharded(sw shardedSweep) (*SweepResult, error) {
 		if ck.Path == "" {
 			return nil, fmt.Errorf("volatile: CheckpointConfig needs a Path")
 		}
+		// A negative Every is a typo, not a cadence: silently falling back
+		// to the default would quietly change how much work a crash loses.
+		if ck.Every < 0 {
+			return nil, fmt.Errorf("volatile: CheckpointConfig.Every must be >= 0 (0 means DefaultCheckpointEvery; got %d)", ck.Every)
+		}
 		if ck.Every > 0 {
 			every = ck.Every
 		}

@@ -301,13 +301,20 @@ type TraceSweepConfig struct {
 // traceSeedSalt separates trace-generation streams from trial streams.
 const traceSeedSalt = 0x7ACE5
 
-// TraceSweep executes a trace-driven sweep through the same sharded
-// pipeline as RunSweep: per-worker shard aggregation, deterministic
-// chunk-order merge, bit-identical results for every worker count. Each
-// instance resolves one trace set — synthetic by default, or recorded
-// from disk when TraceFiles is set — fits models once (interned per
-// scenario), and confronts every heuristic with the same replayed vectors.
-func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
+// tracePlan is everything a trace sweep resolves up front, shared by
+// TraceSweep and TraceSweepConfig.ConfigDigest: the validated heuristic
+// list, the loaded recorded sets (nil for synthetic sweeps), the effective
+// trace length and the canonical config digest.
+type tracePlan struct {
+	heuristics []string
+	sets       []*trace.Set
+	traceLen   int
+	digest     string
+}
+
+// traceSweepPlan validates the config, loads any recorded trace sets and
+// canonicalizes the sweep into its config digest.
+func traceSweepPlan(cfg TraceSweepConfig) (*tracePlan, error) {
 	heuristics, err := sweepHeuristics(cfg.Cells, cfg.Scenarios, cfg.Trials, cfg.Heuristics)
 	if err != nil {
 		return nil, err
@@ -341,6 +348,27 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 	} else {
 		extra = []string{fmt.Sprintf("style %s", cfg.Style), fmt.Sprintf("tracelen %d", traceLen)}
 	}
+	return &tracePlan{
+		heuristics: heuristics,
+		sets:       sets,
+		traceLen:   traceLen,
+		digest: sweepConfigDigest("tracesweep", cfg.Cells, heuristics,
+			cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...),
+	}, nil
+}
+
+// TraceSweep executes a trace-driven sweep through the same sharded
+// pipeline as RunSweep: per-worker shard aggregation, deterministic
+// chunk-order merge, bit-identical results for every worker count. Each
+// instance resolves one trace set — synthetic by default, or recorded
+// from disk when TraceFiles is set — fits models once (interned per
+// scenario), and confronts every heuristic with the same replayed vectors.
+func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
+	plan, err := traceSweepPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	heuristics, sets, traceLen := plan.heuristics, plan.sets, plan.traceLen
 	return runSharded(shardedSweep{
 		cells:     cfg.Cells,
 		scenarios: cfg.Scenarios,
@@ -350,8 +378,7 @@ func TraceSweep(cfg TraceSweepConfig) (*SweepResult, error) {
 		workers:   cfg.Workers,
 		progress:  cfg.Progress,
 		control: sweepControl{
-			digest: sweepConfigDigest("tracesweep", cfg.Cells, heuristics,
-				cfg.Scenarios, cfg.Trials, cfg.Options, cfg.Mode, cfg.Seed, extra...),
+			digest:          plan.digest,
 			checkpoint:      cfg.Checkpoint,
 			stop:            cfg.Stop,
 			faults:          cfg.Faults,
