@@ -72,6 +72,27 @@ func BenchmarkTable2(b *testing.B) { benchTable2(b, ModeSlot) }
 // BENCH_table2.json so the two engines' costs stay visible together.
 func BenchmarkTable2Event(b *testing.B) { benchTable2(b, ModeEvent) }
 
+// BenchmarkMoldableSweep runs the reduced Table 2 grid under the
+// maximum-iters allocation policy — the moldable family's default, and its
+// most allocation-active policy (every iteration resizes to the UP count).
+// CI's bench-smoke records it in BENCH_table2.json next to the rigid-model
+// entries, so the per-iteration allocation overhead and the moldable dfb
+// ordering stay visible per commit.
+func BenchmarkMoldableSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := MoldableSweep(MoldableSweepConfig("maximum-iters", benchScenarios, benchTrials, 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRows(b, fmt.Sprintf("Moldable (maximum-iters, reduced: %d instances)", res.Instances), res.Overall)
+			b.ReportMetric(dfb(res.Overall, "emct"), "emct_dfb")
+			b.ReportMetric(dfb(res.Overall, "mct"), "mct_dfb")
+			b.ReportMetric(dfb(res.Overall, "random"), "random_dfb")
+		}
+	}
+}
+
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := Figure2Config(benchScenarios, benchTrials, 42)

@@ -17,6 +17,11 @@
 //	                                   size, default 1000): full-width rounds over
 //	                                   the informed greedy pairs; pair with
 //	                                   -mode event at P >= 10k
+//	volabench -exp moldable            moldable iterations: -alloc picks the
+//	                                   per-iteration allocation policy (fixed|
+//	                                   maximum-iters|split-into[:k]|reshape[:s],
+//	                                   default maximum-iters) deciding each
+//	                                   iteration's task count at the barrier
 //	volabench -print-grid              the Table 1 parameter grid
 //
 // -scenarios and -trials scale the sweep; the paper uses 247 scenarios ×
@@ -53,7 +58,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs|largep")
+		exp        = flag.String("exp", "table2", "experiment: table2|figure2|table3x5|table3x10|ablation|emctgain|emctgain-norepl|tracesweep|dfrs|largep|moldable")
 		mode       = flag.String("mode", "slot", "engine time base: slot|event (event advances to the next availability transition and skips quiet slots)")
 		scenarios  = flag.Int("scenarios", 6, "scenarios per grid cell")
 		trials     = flag.Int("trials", 4, "trials per scenario")
@@ -65,6 +70,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		traceStyle = flag.String("trace-style", "weibull", "tracesweep sojourn family: weibull|pareto|lognormal")
 		traceLen   = flag.Int("trace-len", 1000, "tracesweep vector length in slots")
+		alloc      = flag.String("alloc", "", "moldable: allocation policy spec ("+strings.Join(volatile.AllocPolicySpecs(), "|")+"; default maximum-iters)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		ckPath     = flag.String("checkpoint", "", "persist sweep progress to this file at chunk boundaries (crash-safe; enables SIGINT/SIGTERM graceful stop)")
@@ -92,7 +98,7 @@ func main() {
 		Exp: *exp, Mode: *mode, Scenarios: *scenarios, Trials: *trials,
 		Procs: *procs, Seed: *seed, Workers: *workers,
 		TraceStyle: *traceStyle, TraceLen: *traceLen, TraceFiles: traceFiles,
-		Retries: *retries, ContinueOnError: *contOnErr,
+		Alloc: *alloc, Retries: *retries, ContinueOnError: *contOnErr,
 	}
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "volabench:", err)
@@ -153,7 +159,7 @@ func main() {
 
 	start := time.Now()
 	switch *exp {
-	case "table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep":
+	case "table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep", "moldable":
 		// Every sweep-family experiment goes through the shared request
 		// layer: Build validates, constructs the config and resolves its
 		// content digest exactly as the sweep service does.
@@ -209,6 +215,14 @@ func main() {
 			}
 			fmt.Printf("Volunteer grid — P = %d processors, n = P tasks (%d instances, %d censored runs, %v)\n\n",
 				p, res.Instances, res.Censored, elapsed)
+			printRows(res.Overall, *csvPath)
+		case "moldable":
+			spec := *alloc
+			if spec == "" {
+				spec = "maximum-iters"
+			}
+			fmt.Printf("Moldable iterations — allocation policy %s sizes each iteration at the barrier (%d instances, %d censored runs, %v)\n\n",
+				spec, res.Instances, res.Censored, elapsed)
 			printRows(res.Overall, *csvPath)
 		}
 		reportSweepHealth(res, dur)

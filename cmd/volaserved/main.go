@@ -33,6 +33,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1, "sweeps running concurrently (each sweep is itself parallel)")
 	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in chunks (0 = library default)")
 	partial := flag.Duration("partial-interval", 2*time.Second, "how often running jobs re-read their checkpoint to stream partial aggregates")
+	resultsTTL := flag.Duration("results-ttl", 0, "evict cached results older than this (0 = keep forever; eviction never touches a job with an attached stream)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", time.Minute, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -40,15 +41,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "volaserved: -checkpoint-every must be >= 0 (got %d)\n", *every)
 		os.Exit(2)
 	}
+	if *resultsTTL < 0 {
+		fmt.Fprintf(os.Stderr, "volaserved: -results-ttl must be >= 0 (got %v)\n", *resultsTTL)
+		os.Exit(2)
+	}
 	sched, err := jobs.New(jobs.Options{
 		DataDir:         *dataDir,
 		MaxConcurrent:   *maxJobs,
 		CheckpointEvery: *every,
 		PartialInterval: *partial,
+		ResultsTTL:      *resultsTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volaserved:", err)
 		os.Exit(1)
+	}
+
+	// Boot auto-resume: jobs a previous process left unfinished (persisted
+	// request, no cached result) restart from their checkpoints without
+	// waiting for any client to resubmit them.
+	if n, err := sched.ResumeInterrupted(); err != nil {
+		fmt.Fprintln(os.Stderr, "volaserved: resume scan:", err)
+	} else if n > 0 {
+		fmt.Printf("volaserved: resumed %d interrupted job(s) from checkpoints\n", n)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: newServer(sched)}
@@ -75,5 +90,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "volaserved: shutdown:", err)
 		os.Exit(1)
 	}
-	fmt.Println("volaserved: stopped; resubmit interrupted jobs after restart to resume them")
+	fmt.Println("volaserved: stopped; interrupted jobs resume automatically at the next boot")
 }

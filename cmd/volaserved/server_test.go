@@ -394,10 +394,11 @@ func TestBadRequestsAndNotFound(t *testing.T) {
 	}
 }
 
-// TestEverySweepFamilyEndToEnd runs each of the seven sweep families
-// through submit → stream → result at the smallest real size. The paper
-// grids make table2/figure2/dfrs/tracesweep genuinely expensive even at
-// 1×1, so this is the slow test of the package (~40s).
+// TestEverySweepFamilyEndToEnd runs each of the eight sweep families
+// (moldable included) through submit → stream → result at the smallest
+// real size. The paper grids make table2/figure2/dfrs/tracesweep/moldable
+// genuinely expensive even at 1×1, so this is the slow test of the
+// package (~60s).
 func TestEverySweepFamilyEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-family pass sweeps four 120-cell paper grids")

@@ -24,6 +24,7 @@ type Job struct {
 	events       []Event
 	stop         chan struct{}
 	stopped      bool // requestStop is idempotent
+	subs         int  // live Subscribe pumps; results-TTL eviction skips jobs with any
 	done, total  int
 	result       *CachedResult
 	errText      string
@@ -168,9 +169,17 @@ func (j *Job) completeFromCache(c *CachedResult) {
 	j.mu.Unlock()
 }
 
+// hasSubscribers reports whether any Subscribe pump is still attached.
+func (j *Job) hasSubscribers() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.subs > 0
+}
+
 // Subscribe replays the job's event log from the start and then follows it
 // live; the channel closes after the terminal event (or on cancel). Safe to
-// call at any point in the job's life, including after completion.
+// call at any point in the job's life, including after completion. While a
+// subscriber is attached the job is pinned against results-TTL eviction.
 func (j *Job) Subscribe() (<-chan Event, func()) {
 	ch := make(chan Event, 16)
 	cancelCh := make(chan struct{})
@@ -184,8 +193,18 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 			j.mu.Unlock()
 		})
 	}
+	j.mu.Lock()
+	j.subs++
+	j.mu.Unlock()
 	go func() {
+		// Deferred LIFO: the subscriber count drops before the channel
+		// closes, so a drained-to-close stream implies the pin is released.
 		defer close(ch)
+		defer func() {
+			j.mu.Lock()
+			j.subs--
+			j.mu.Unlock()
+		}()
 		next := 0
 		for {
 			j.mu.Lock()

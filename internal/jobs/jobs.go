@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,6 +110,15 @@ type Options struct {
 	// PartialInterval is how often a running job's checkpoint is re-read to
 	// emit partial-aggregate events (default 2s; <0 disables).
 	PartialInterval time.Duration
+	// ResultsTTL evicts cached results (and their terminal job-table
+	// entries) older than this, measured from CachedResult.CompletedAt.
+	// 0 keeps results forever. Eviction runs at construction and on a
+	// timer, and never touches a job with a live subscriber — a stream
+	// replaying a done job keeps its result serveable until it detaches.
+	ResultsTTL time.Duration
+	// Now injects the eviction clock; nil means time.Now. Tests drive
+	// eviction with a fake clock through this.
+	Now func() time.Time
 }
 
 // ErrShuttingDown rejects submissions after Stop has begun.
@@ -125,6 +135,10 @@ type Scheduler struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 
+	// gcStop ends the results-TTL eviction loop; gcWG waits for it.
+	gcStop chan struct{}
+	gcWG   sync.WaitGroup
+
 	sweepsStarted atomic.Int64
 }
 
@@ -139,16 +153,89 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.PartialInterval == 0 {
 		opts.PartialInterval = 2 * time.Second
 	}
-	for _, d := range []string{opts.DataDir, filepath.Join(opts.DataDir, "checkpoints"), filepath.Join(opts.DataDir, "results")} {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	for _, d := range []string{opts.DataDir, filepath.Join(opts.DataDir, "checkpoints"), filepath.Join(opts.DataDir, "results"), filepath.Join(opts.DataDir, "requests")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("jobs: %w", err)
 		}
 	}
-	return &Scheduler{
-		opts: opts,
-		jobs: make(map[string]*Job),
-		sem:  make(chan struct{}, opts.MaxConcurrent),
-	}, nil
+	s := &Scheduler{
+		opts:   opts,
+		jobs:   make(map[string]*Job),
+		sem:    make(chan struct{}, opts.MaxConcurrent),
+		gcStop: make(chan struct{}),
+	}
+	if opts.ResultsTTL > 0 {
+		s.evictExpired()
+		s.gcWG.Add(1)
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// gcLoop re-runs results-TTL eviction on a timer until Stop.
+func (s *Scheduler) gcLoop() {
+	defer s.gcWG.Done()
+	interval := s.opts.ResultsTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.evictExpired()
+		}
+	}
+}
+
+// evictExpired removes cached results older than ResultsTTL from the
+// results dir, along with their terminal job-table entries, and returns
+// how many it evicted. A job with a live subscriber is skipped entirely —
+// eviction never yanks a result out from under an attached stream — as is
+// any non-terminal job (its stale cache file from a previous life will be
+// rewritten on completion anyway).
+func (s *Scheduler) evictExpired() int {
+	ttl := s.opts.ResultsTTL
+	if ttl <= 0 {
+		return 0
+	}
+	entries, err := os.ReadDir(filepath.Join(s.opts.DataDir, "results"))
+	if err != nil {
+		return 0
+	}
+	now := s.opts.Now()
+	evicted := 0
+	for _, e := range entries {
+		digest, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		c, err := s.loadResult(digest)
+		if err != nil {
+			continue // corrupt cache files are surfaced at load, not GC'd blind
+		}
+		if now.Sub(c.CompletedAt) <= ttl {
+			continue
+		}
+		s.mu.Lock()
+		if j, live := s.jobs[digest]; live {
+			if !j.State().terminal() || j.hasSubscribers() {
+				s.mu.Unlock()
+				continue
+			}
+			delete(s.jobs, digest)
+		}
+		s.mu.Unlock()
+		os.Remove(s.resultPath(digest))
+		evicted++
+	}
+	return evicted
 }
 
 // SweepsStarted reports how many sweep executions this scheduler actually
@@ -161,6 +248,62 @@ func (s *Scheduler) checkpointPath(digest string) string {
 
 func (s *Scheduler) resultPath(digest string) string {
 	return filepath.Join(s.opts.DataDir, "results", digest+".json")
+}
+
+func (s *Scheduler) requestPath(digest string) string {
+	return filepath.Join(s.opts.DataDir, "requests", digest+".json")
+}
+
+// persistRequest durably records an admitted request under its digest so a
+// restarted server can resubmit it (ResumeInterrupted). Best-effort: a
+// failed write degrades boot auto-resume, never the sweep itself.
+func (s *Scheduler) persistRequest(digest string, req sweepreq.Request) {
+	_ = atomicio.WriteFile(s.requestPath(digest), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(req)
+	})
+}
+
+// ResumeInterrupted rescans the data dir for jobs a previous process left
+// unfinished — a persisted request with no cached result — and resubmits
+// each one. Checkpoints make the resubmission a resume, so a server killed
+// mid-sweep picks its jobs back up at boot with no client involvement and
+// still lands on bit-identical result digests. Requests whose results are
+// already cached are stale stubs and are swept away. It returns the number
+// of jobs resubmitted.
+func (s *Scheduler) ResumeInterrupted() (int, error) {
+	entries, err := os.ReadDir(filepath.Join(s.opts.DataDir, "requests"))
+	if err != nil {
+		return 0, fmt.Errorf("jobs: %w", err)
+	}
+	resumed := 0
+	for _, e := range entries {
+		digest, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if _, err := s.loadResult(digest); err == nil {
+			// Completed between the result write and the stub cleanup (a
+			// crash in that window): the cache already serves it.
+			os.Remove(s.requestPath(digest))
+			continue
+		}
+		data, err := os.ReadFile(s.requestPath(digest))
+		if err != nil {
+			continue
+		}
+		var req sweepreq.Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			continue // a corrupt stub must never block boot
+		}
+		_, started, err := s.Submit(req)
+		if err != nil {
+			continue // e.g. a stub from an older request schema
+		}
+		if started {
+			resumed++
+		}
+	}
+	return resumed, nil
 }
 
 // Submit admits a request. The returned bool reports whether a sweep
@@ -188,6 +331,7 @@ func (s *Scheduler) Submit(req sweepreq.Request) (*Job, bool, error) {
 		j.stop = make(chan struct{})
 		j.setStateLocked(StateQueued, Event{Type: "queued"})
 		j.mu.Unlock()
+		s.persistRequest(built.Digest, req)
 		s.launch(j)
 		return j, true, nil
 	}
@@ -199,6 +343,7 @@ func (s *Scheduler) Submit(req sweepreq.Request) (*Job, bool, error) {
 		return j, false, nil
 	}
 	j.appendEvent(Event{Type: "queued"})
+	s.persistRequest(built.Digest, req)
 	s.launch(j)
 	return j, true, nil
 }
@@ -253,11 +398,16 @@ func (s *Scheduler) StopJob(id string) bool {
 // Stop returns when all job goroutines have drained.
 func (s *Scheduler) Stop() {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	for _, j := range s.jobs {
 		j.requestStop()
 	}
 	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.gcStop)
+	}
+	s.gcWG.Wait()
 	s.wg.Wait()
 }
 
@@ -337,9 +487,11 @@ func (s *Scheduler) run(j *Job) {
 			j.finish(StateFailed, Event{Type: "failed", Error: werr.Error()})
 			return
 		}
-		// The checkpoint is subsumed by the cached result; keep the data
-		// dir from accumulating one per completed sweep.
+		// The checkpoint and request stub are subsumed by the cached
+		// result; keep the data dir from accumulating one of each per
+		// completed sweep.
 		os.Remove(ckPath)
+		os.Remove(s.requestPath(j.Digest))
 		j.setResult(cached)
 		j.finish(StateDone, Event{
 			Type: "done", Done: res.Instances, Total: j.built.Instances,

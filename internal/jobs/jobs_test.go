@@ -3,6 +3,7 @@ package jobs
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -206,6 +207,180 @@ func TestStopResumeBitIdentical(t *testing.T) {
 	}
 	if res.ResultDigest != want {
 		t.Fatalf("resumed result digest %s != uninterrupted %s", res.ResultDigest, want)
+	}
+}
+
+// TestBootResumeInterruptedBitIdentical is the server-restart acceptance
+// property: a job interrupted by scheduler shutdown is picked back up at
+// the next boot by ResumeInterrupted alone — no client resubmits anything —
+// and completes to the digest of an uninterrupted run.
+func TestBootResumeInterruptedBitIdentical(t *testing.T) {
+	built, err := sweepreq.Build(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := built.Run(sweepreq.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Digest()
+
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir, -1)
+	j, _, err := s.Submit(slowReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server once the sweep is mid-flight: Stop interrupts the job
+	// at its next chunk boundary, exactly as SIGTERM does in volaserved.
+	ch, cancel := j.Subscribe()
+	for ev := range ch {
+		if ev.Type == "progress" {
+			break
+		}
+	}
+	cancel()
+	s.Stop()
+	if st := j.State(); st != StateStopped {
+		t.Fatalf("job state after shutdown %s, want stopped", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "requests", j.Digest+".json")); err != nil {
+		t.Fatalf("interrupted job left no persisted request: %v", err)
+	}
+
+	// Reboot: the boot scan alone must resubmit and finish the job.
+	s2 := newTestScheduler(t, dir, -1)
+	defer s2.Stop()
+	n, err := s2.ResumeInterrupted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ResumeInterrupted resubmitted %d jobs, want 1", n)
+	}
+	j2, ok := s2.Get(j.Digest)
+	if !ok {
+		t.Fatal("resumed job not in the table")
+	}
+	if lastType(drain(t, j2)) != "done" {
+		t.Fatalf("boot-resumed job ended %q, want done", j2.State())
+	}
+	res, err := s2.Result(j.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultDigest != want {
+		t.Fatalf("boot-resumed digest %s != uninterrupted %s", res.ResultDigest, want)
+	}
+	// Success consumed the stub: the next boot has nothing to resume.
+	if _, err := os.Stat(filepath.Join(dir, "requests", j.Digest+".json")); !os.IsNotExist(err) {
+		t.Fatalf("request stub survived a completed job (err=%v)", err)
+	}
+	s2.Stop()
+	s3 := newTestScheduler(t, dir, -1)
+	defer s3.Stop()
+	if n, err := s3.ResumeInterrupted(); err != nil || n != 0 {
+		t.Fatalf("clean boot resumed %d jobs (err=%v), want 0", n, err)
+	}
+}
+
+// TestResultsTTLEviction drives the eviction policy with a fake clock:
+// fresh results stay, a live subscriber pins an expired one, and once the
+// last stream detaches both the cache file and the terminal job-table
+// entry go — after which a resubmission really re-runs the sweep.
+func TestResultsTTLEviction(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	s, err := New(Options{
+		DataDir: dir, CheckpointEvery: 1, PartialInterval: -1,
+		ResultsTTL: time.Hour, Now: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	j, _, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	if n := s.evictExpired(); n != 0 {
+		t.Fatalf("fresh result evicted (%d)", n)
+	}
+
+	// Age the result past the TTL. CompletedAt is wall-clock, so move the
+	// fake clock relative to the real completion time.
+	mu.Lock()
+	now = time.Now().Add(2 * time.Hour)
+	mu.Unlock()
+
+	ch, _ := j.Subscribe()
+	if n := s.evictExpired(); n != 0 {
+		t.Fatalf("evicted %d results out from under a live subscriber", n)
+	}
+	if _, ok := s.Get(j.Digest); !ok {
+		t.Fatal("subscribed job vanished from the table")
+	}
+	for range ch {
+		// Drain to close: the stream ends only after the subscriber pin is
+		// released (deferred LIFO in Subscribe).
+	}
+	if n := s.evictExpired(); n != 1 {
+		t.Fatalf("evicted %d results, want 1", n)
+	}
+	if _, ok := s.Get(j.Digest); ok {
+		t.Fatal("evicted job still in the table")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", j.Digest+".json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted result file still on disk (err=%v)", err)
+	}
+	j2, started, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !started {
+		t.Fatal("post-eviction submission was served from a cache that no longer exists")
+	}
+	if lastType(drain(t, j2)) != "done" {
+		t.Fatalf("post-eviction rerun ended %q, want done", j2.State())
+	}
+}
+
+// TestResultsTTLEvictsAtBoot pins the construction-time GC: a scheduler
+// booted over a data dir holding only expired results clears them before
+// serving, so the first submission re-runs rather than serving stale data
+// past its retention.
+func TestResultsTTLEvictsAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir, -1)
+	j, _, err := s.Submit(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	s.Stop()
+
+	s2, err := New(Options{
+		DataDir: dir, CheckpointEvery: 1, PartialInterval: -1,
+		ResultsTTL: time.Hour,
+		Now:        func() time.Time { return time.Now().Add(48 * time.Hour) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	if _, err := os.Stat(filepath.Join(dir, "results", j.Digest+".json")); !os.IsNotExist(err) {
+		t.Fatalf("boot GC left the expired result behind (err=%v)", err)
+	}
+	if _, started, err := s2.Submit(fastReq()); err != nil || !started {
+		t.Fatalf("submission after boot GC: started=%v err=%v, want a fresh run", started, err)
 	}
 }
 

@@ -33,6 +33,12 @@ type Config struct {
 	Procs []avail.Process
 	// Scheduler is the heuristic under test.
 	Scheduler Scheduler
+	// Alloc, when non-nil, makes the application moldable: the policy is
+	// consulted at every iteration boundary to decide how many tasks the
+	// next iteration runs (see AllocationPolicy). Nil keeps the paper's
+	// fixed model — every iteration runs exactly Params.M tasks — on the
+	// engine's original code path, byte for byte.
+	Alloc AllocationPolicy
 	// Mode selects the engine's time base: ModeSlot (the default) ticks
 	// every slot; ModeEvent samples availability at sojourn granularity and
 	// skips quiet spans (requires Procs that implement avail.Trajectory).
@@ -189,6 +195,16 @@ type engine struct {
 	// that does not implement Canceller (a Canceller may act on slots where
 	// no engine state changed, so its slots cannot be skipped).
 	skipQuiet bool
+	// allocPending defers the allocation policy's first decision to the
+	// start of slot 0, after the slot's availability states are applied, so
+	// iteration 0 is sized from real worker states like every later one.
+	allocPending bool
+	// iterStart is the slot the current iteration started at, feeding the
+	// per-iteration duration the reshape-style policies observe.
+	iterStart int
+	// iterTasks records each iteration's task count (moldable runs only;
+	// the fixed path leaves it empty and Result.IterationTasks nil).
+	iterTasks []int
 	// runID stamps View.Run; drawn from runCounter at reset.
 	runID int64
 	// mutateSkipDirty suppresses markDirty for worker mutateSkipDirty-1
@@ -258,20 +274,32 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		}
 		if e.iter >= e.params.Iterations {
 			return &Result{
-				Completed:     true,
-				Makespan:      e.slot + 1,
-				IterationEnds: append([]int(nil), e.ends...),
-				Stats:         e.stats,
+				Completed:      true,
+				Makespan:       e.slot + 1,
+				IterationEnds:  append([]int(nil), e.ends...),
+				IterationTasks: e.iterTasksCopy(),
+				Stats:          e.stats,
 			}, nil
 		}
 		e.slot = e.nextSlot(maxSlots)
 	}
 	return &Result{
-		Completed:     false,
-		Makespan:      maxSlots,
-		IterationEnds: append([]int(nil), e.ends...),
-		Stats:         e.stats,
+		Completed:      false,
+		Makespan:       maxSlots,
+		IterationEnds:  append([]int(nil), e.ends...),
+		IterationTasks: e.iterTasksCopy(),
+		Stats:          e.stats,
 	}, nil
+}
+
+// iterTasksCopy snapshots the per-iteration task counts for the Result.
+// Fixed-model runs (no allocation policy) record none and return nil, so
+// the original path allocates nothing extra.
+func (e *engine) iterTasksCopy() []int {
+	if len(e.iterTasks) == 0 {
+		return nil
+	}
+	return append([]int(nil), e.iterTasks...)
 }
 
 // reset (re)initializes the engine for a run, growing buffers as needed and
@@ -304,28 +332,7 @@ func (e *engine) reset(cfg Config) {
 	e.upSet.reset(p)
 	e.nUp, e.nFreeUp, e.nIdleUp = 0, 0, 0
 
-	if cap(e.tasks) < m {
-		e.tasks = make([]taskState, m)
-		e.nextReplica = make([]int, m)
-		e.plannedCopies = make([]int, m)
-	}
-	e.tasks = e.tasks[:m]
-	e.nextReplica = e.nextReplica[:m]
-	e.plannedCopies = e.plannedCopies[:m]
-	for t := range e.tasks {
-		e.tasks[t] = taskState{}
-		e.nextReplica[t] = 0
-		e.plannedCopies[t] = 0
-	}
-	if cap(e.holders) < m {
-		holders := make([][]int32, m)
-		copy(holders, e.holders)
-		e.holders = holders
-	}
-	e.holders = e.holders[:m]
-	for t := range e.holders {
-		e.holders[t] = e.holders[t][:0]
-	}
+	e.resizeTasks(m)
 
 	if cap(e.rs.NQ) < p {
 		e.rs.NQ = make([]int, p)
@@ -365,6 +372,10 @@ func (e *engine) reset(cfg Config) {
 	e.evq.reset()
 	e.skipQuiet = false
 
+	e.allocPending = cfg.Alloc != nil
+	e.iterStart = 0
+	e.iterTasks = e.iterTasks[:0]
+
 	e.slot, e.iter = 0, 0
 	e.stats = Stats{}
 	e.ends = e.ends[:0]
@@ -373,6 +384,49 @@ func (e *engine) reset(cfg Config) {
 	e.conts = e.conts[:0]
 	e.idle = e.idle[:0]
 	e.dropBuf = e.dropBuf[:0]
+}
+
+// resizeTasks (re)sizes the per-task tables — the task states, replica
+// counters, round overlay and holder lists — to m tasks, growing capacity as
+// needed and zeroing every entry. Shared by reset and the moldable
+// iteration boundary; growing within capacity re-exposes stale entries from
+// an earlier, larger iteration, so the wipe is unconditional. Holder lists
+// keep their underlying arrays for reuse.
+func (e *engine) resizeTasks(m int) {
+	if cap(e.tasks) < m {
+		e.tasks = make([]taskState, m)
+		e.nextReplica = make([]int, m)
+		e.plannedCopies = make([]int, m)
+	}
+	e.tasks = e.tasks[:m]
+	e.nextReplica = e.nextReplica[:m]
+	e.plannedCopies = e.plannedCopies[:m]
+	for t := range e.tasks {
+		e.tasks[t] = taskState{}
+		e.nextReplica[t] = 0
+		e.plannedCopies[t] = 0
+	}
+	if cap(e.holders) < m {
+		holders := make([][]int32, m)
+		copy(holders, e.holders)
+		e.holders = holders
+	}
+	e.holders = e.holders[:m]
+	for t := range e.holders {
+		e.holders[t] = e.holders[t][:0]
+	}
+}
+
+// decideAlloc consults the allocation policy for the iteration about to
+// start (Alloc is non-nil) and returns the clamped task count. The view is
+// refreshed first so the policy reads current worker states; the extra
+// buildView only spends an epoch stamp, which is behaviour-invisible
+// (epochs are only ever compared for equality).
+func (e *engine) decideAlloc(prev IterationInfo) int {
+	e.buildView()
+	n := clampIterTasks(e.cfg.Alloc.TasksFor(&e.view, prev))
+	e.iterTasks = append(e.iterTasks, n)
+	return n
 }
 
 // newCopy takes a copyState from the pool (or allocates the pool's first
@@ -401,6 +455,22 @@ func (e *engine) step() error {
 		}
 	} else {
 		e.advanceStates()
+	}
+	if e.allocPending {
+		// Moldable runs size iteration 0 here — after the slot's
+		// availability states are applied, before the first scheduling
+		// round — so the policy sees the same decision inputs in both time
+		// bases. Iteration 0's completed-iteration summary is the -1
+		// sentinel (nothing ran yet); stateful policies reset on it.
+		e.allocPending = false
+		before := len(e.tasks) // reset sized the tables (and tracker) to Params.M
+		if n := e.decideAlloc(IterationInfo{Iteration: -1}); n != before {
+			e.resizeTasks(n)
+			e.trk.reset(n, 1+e.params.MaxReplicas)
+		}
+		if e.slowChecks {
+			e.verifyTaskTables()
+		}
 	}
 	if err := e.schedule(); err != nil {
 		return err
@@ -794,6 +864,10 @@ func (e *engine) buildView() {
 	e.view.Slot = e.slot
 	e.view.Iteration = e.iter
 	e.view.TasksRemaining = e.trk.remaining
+	e.view.IterTasks = len(e.tasks)
+	e.view.UpWorkers = e.nUp
+	e.view.FreeWorkers = e.nFreeUp
+	e.view.IdleWorkers = e.nIdleUp
 	e.view.Epoch = epochCounter.Add(1)
 	e.view.SlowChecks = e.slowChecks
 	for _, i := range e.dirtyProcs {
@@ -1077,6 +1151,22 @@ func (e *engine) finishSlot() {
 	if e.iter >= e.params.Iterations {
 		return
 	}
+	// Moldable runs decide the next iteration's size here, before the task
+	// table is touched: at this instant every task is completed, so the
+	// slow-check view recount agrees with the zeroed remaining counter. The
+	// resize itself waits until after the defensive drop scan below (it
+	// indexes the holder lists by the old iteration's task IDs); both happen
+	// before the tracker reset, so the event clock's quiet-span check —
+	// which reads the pending set and remaining count right after this
+	// returns — already sees the decided iteration.
+	n := len(e.tasks)
+	if e.cfg.Alloc != nil {
+		n = e.decideAlloc(IterationInfo{
+			Iteration: e.iter - 1,
+			Tasks:     len(e.tasks),
+			Slots:     e.slot + 1 - e.iterStart,
+		})
+	}
 	// Reset tasks for the next iteration. Task data is iteration-specific:
 	// every pipeline entry is discarded; programs are kept.
 	for t := range e.tasks {
@@ -1109,7 +1199,14 @@ func (e *engine) finishSlot() {
 			e.reindexAvail(i, was)
 		}
 	}
-	e.trk.reset(len(e.tasks), 1+e.params.MaxReplicas)
+	if n != len(e.tasks) {
+		e.resizeTasks(n)
+	}
+	e.iterStart = e.slot + 1
+	e.trk.reset(n, 1+e.params.MaxReplicas)
+	if e.slowChecks {
+		e.verifyTaskTables()
+	}
 }
 
 // emit forwards an event to the configured sink.

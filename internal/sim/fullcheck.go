@@ -32,8 +32,20 @@ func (e *engine) buildViewFull(dst *View) {
 		}
 	}
 	dst.TasksRemaining = remaining
+	dst.IterTasks = len(e.tasks)
+	dst.UpWorkers, dst.FreeWorkers, dst.IdleWorkers = 0, 0, 0
 	for i := range e.workers {
 		e.fillProcView(i, &dst.Procs[i])
+		if e.states[i] == avail.Up {
+			dst.UpWorkers++
+			w := &e.workers[i]
+			if w.incoming == nil {
+				dst.FreeWorkers++
+				if w.computing == nil {
+					dst.IdleWorkers++
+				}
+			}
+		}
 	}
 }
 
@@ -46,6 +58,17 @@ func (e *engine) verifyView() {
 	if e.view.TasksRemaining != e.checkView.TasksRemaining {
 		panic(fmt.Sprintf("sim: slot %d: incremental TasksRemaining %d, full rebuild %d",
 			e.slot, e.view.TasksRemaining, e.checkView.TasksRemaining))
+	}
+	if e.view.IterTasks != e.checkView.IterTasks {
+		panic(fmt.Sprintf("sim: slot %d: view IterTasks %d, task table holds %d",
+			e.slot, e.view.IterTasks, e.checkView.IterTasks))
+	}
+	if e.view.UpWorkers != e.checkView.UpWorkers ||
+		e.view.FreeWorkers != e.checkView.FreeWorkers ||
+		e.view.IdleWorkers != e.checkView.IdleWorkers {
+		panic(fmt.Sprintf("sim: slot %d: view counts up=%d free=%d idle=%d, full recount up=%d free=%d idle=%d",
+			e.slot, e.view.UpWorkers, e.view.FreeWorkers, e.view.IdleWorkers,
+			e.checkView.UpWorkers, e.checkView.FreeWorkers, e.checkView.IdleWorkers))
 	}
 	for i := range e.view.Procs {
 		if e.view.Procs[i] != e.checkView.Procs[i] {
@@ -204,6 +227,31 @@ func (e *engine) verifyRoundSetup() {
 		if e.rs.NQ[i] != 0 {
 			panic(fmt.Sprintf("sim: slot %d: NQ[%d] = %d at round start, want 0 (stale round queue)",
 				e.slot, i, e.rs.NQ[i]))
+		}
+	}
+}
+
+// verifyTaskTables checks the per-iteration sizing invariant at an
+// iteration start: every per-task table — states, replica counters, round
+// overlay, holder lists — and the tracker's pending/remaining indexes must
+// agree on the iteration's task count, with every entry in its
+// start-of-iteration state. A moldable resize that missed a table would
+// surface here as a length or stale-entry mismatch.
+func (e *engine) verifyTaskTables() {
+	m := len(e.tasks)
+	if len(e.nextReplica) != m || len(e.plannedCopies) != m || len(e.holders) != m {
+		panic(fmt.Sprintf("sim: slot %d: task tables disagree on iteration size: tasks=%d nextReplica=%d plannedCopies=%d holders=%d",
+			e.slot, m, len(e.nextReplica), len(e.plannedCopies), len(e.holders)))
+	}
+	if e.trk.remaining != m || e.trk.pending.size() != m {
+		panic(fmt.Sprintf("sim: slot %d: tracker sized for %d remaining / %d pending tasks, table holds %d",
+			e.slot, e.trk.remaining, e.trk.pending.size(), m))
+	}
+	for t := 0; t < m; t++ {
+		if e.tasks[t] != (taskState{}) || e.nextReplica[t] != 0 ||
+			e.plannedCopies[t] != 0 || len(e.holders[t]) != 0 {
+			panic(fmt.Sprintf("sim: slot %d: task %d not in start-of-iteration state after resize",
+				e.slot, t))
 		}
 	}
 }

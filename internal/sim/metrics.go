@@ -41,6 +41,11 @@ type Result struct {
 	Makespan int
 	// IterationEnds[i] is the slot count at which iteration i completed.
 	IterationEnds []int
+	// IterationTasks[i] is the number of tasks iteration i ran (including,
+	// for a censored run, the in-progress iteration). Only moldable runs —
+	// a Config with an AllocationPolicy — record it; under the fixed model
+	// it is nil and every iteration runs Params.M tasks.
+	IterationTasks []int
 	// Stats carries the resource counters.
 	Stats Stats
 }

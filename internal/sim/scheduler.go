@@ -77,6 +77,18 @@ type View struct {
 	// TasksRemaining is the number of tasks of the current iteration not yet
 	// completed.
 	TasksRemaining int
+	// IterTasks is the total number of tasks of the current iteration. It
+	// equals Params.M under the fixed model; a configured AllocationPolicy
+	// varies it per iteration (and reads it as "the size I last chose" when
+	// consulted at a boundary, where it still reflects the iteration that
+	// just completed).
+	IterTasks int
+	// UpWorkers, FreeWorkers and IdleWorkers are the engine's incrementally
+	// maintained availability counts: workers currently UP, UP with a free
+	// incoming slot (able to accept a new copy), and UP with no begun work
+	// at all. Allocation policies size iterations from them; hand-built
+	// views may leave them zero.
+	UpWorkers, FreeWorkers, IdleWorkers int
 
 	// Run identifies the simulation run this view belongs to. Engine-built
 	// views carry a process-wide unique, strictly increasing run ID, so a

@@ -25,11 +25,12 @@ import (
 var experiments = []string{
 	"table2", "figure2", "table3x5", "table3x10",
 	"ablation", "emctgain", "emctgain-norepl", "tracesweep", "dfrs",
-	"largep",
+	"largep", "moldable",
 }
 
 var sweepExperiments = []string{
 	"table2", "figure2", "table3x5", "table3x10", "tracesweep", "dfrs", "largep",
+	"moldable",
 }
 
 // Experiments returns every valid experiment name, in usage order.
@@ -78,6 +79,11 @@ type Request struct {
 	TraceStyle string   `json:"trace_style,omitempty"`
 	TraceLen   int      `json:"trace_len,omitempty"`
 	TraceFiles []string `json:"trace_files,omitempty"`
+	// Alloc is the allocation-policy spec for the moldable experiment
+	// ("fixed", "maximum-iters", "split-into[:parts]", "reshape[:step]").
+	// Rejected outside moldable because silently ignoring a requested
+	// policy would be a trap; defaults to "maximum-iters" for moldable.
+	Alloc string `json:"alloc,omitempty"`
 	// Retries and ContinueOnError set the failure policy (excluded from
 	// the digest: a recovered sweep is bit-identical to an undisturbed one).
 	Retries         int  `json:"retries,omitempty"`
@@ -102,6 +108,9 @@ func (r Request) WithDefaults() Request {
 	}
 	if r.TraceLen == 0 {
 		r.TraceLen = 1000
+	}
+	if r.Exp == "moldable" && r.Alloc == "" {
+		r.Alloc = "maximum-iters"
 	}
 	return r
 }
@@ -141,6 +150,14 @@ func (r Request) Validate() error {
 	}
 	if len(r.TraceFiles) > 0 && r.Exp != "tracesweep" {
 		return fmt.Errorf("-trace-file applies only to -exp tracesweep (got -exp %s)", r.Exp)
+	}
+	if r.Alloc != "" {
+		if r.Exp != "moldable" {
+			return fmt.Errorf("-alloc applies only to -exp moldable (got -exp %s)", r.Exp)
+		}
+		if _, err := volatile.ParseAllocPolicy(r.Alloc); err != nil {
+			return fmt.Errorf("-alloc: %v (valid: %s)", err, strings.Join(volatile.AllocPolicySpecs(), ", "))
+		}
 	}
 	if r.Exp == "tracesweep" {
 		if _, err := ParseTraceStyle(r.TraceStyle); r.TraceStyle != "" && err != nil {
@@ -275,6 +292,27 @@ func Build(r Request) (*Built, error) {
 				c := cfg
 				c.Progress, c.Checkpoint, c.Stop, c.Faults = o.Progress, o.Checkpoint, o.Stop, o.Faults
 				return volatile.CompareSweep(c)
+			},
+		}, nil
+
+	case "moldable":
+		cfg := volatile.MoldableSweepConfig(r.Alloc, r.Scenarios, r.Trials, r.Seed)
+		cfg.Options.Processors = r.Procs
+		cfg.Mode, cfg.Workers = mode, r.Workers
+		cfg.MaxRetries, cfg.ContinueOnError = r.Retries, r.ContinueOnError
+		digest, err := cfg.ConfigDigest()
+		if err != nil {
+			return nil, err
+		}
+		return &Built{
+			Exp:        r.Exp,
+			Digest:     digest,
+			Heuristics: volatile.Heuristics(),
+			Instances:  len(cfg.Cells) * r.Scenarios * r.Trials,
+			Run: func(o RunOpts) (*volatile.SweepResult, error) {
+				c := cfg
+				c.Progress, c.Checkpoint, c.Stop, c.Faults = o.Progress, o.Checkpoint, o.Stop, o.Faults
+				return volatile.MoldableSweep(c)
 			},
 		}, nil
 

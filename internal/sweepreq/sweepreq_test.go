@@ -26,6 +26,14 @@ func TestValidateTable(t *testing.T) {
 			r.Exp, r.TraceFiles = "tracesweep", []string{"a.trace"}
 			return r
 		}, ""},
+		{"moldable", func(r Request) Request {
+			r.Exp, r.Alloc = "moldable", "reshape:3"
+			return r
+		}, ""},
+		{"moldable-default-alloc", func(r Request) Request {
+			r.Exp = "moldable"
+			return r
+		}, ""},
 
 		{"zero-scenarios", func(r Request) Request { r.Scenarios = 0; return r }, "-scenarios must be positive"},
 		{"negative-trials", func(r Request) Request { r.Trials = -1; return r }, "-trials must be positive"},
@@ -38,6 +46,18 @@ func TestValidateTable(t *testing.T) {
 			r.TraceFiles = []string{"a.trace"}
 			return r
 		}, "-trace-file applies only to -exp tracesweep"},
+		{"alloc-elsewhere", func(r Request) Request {
+			r.Alloc = "maximum-iters"
+			return r
+		}, "-alloc applies only to -exp moldable"},
+		{"bad-alloc", func(r Request) Request {
+			r.Exp, r.Alloc = "moldable", "zipf"
+			return r
+		}, "unknown alloc policy"},
+		{"bad-alloc-arg", func(r Request) Request {
+			r.Exp, r.Alloc = "moldable", "split-into:0"
+			return r
+		}, "must be a positive integer"},
 		{"bad-trace-style", func(r Request) Request {
 			r.Exp, r.TraceStyle = "tracesweep", "zipf"
 			return r

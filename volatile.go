@@ -162,7 +162,22 @@ type (
 	Event = sim.Event
 	// SlotReport is the per-slot observer payload.
 	SlotReport = sim.SlotReport
+	// AllocationPolicy decides a moldable application's tasks-per-iteration
+	// count at every iteration boundary (see RunAlloc and MoldableSweep).
+	AllocationPolicy = sim.AllocationPolicy
 )
+
+// ParseAllocPolicy builds an allocation policy from its spec string
+// ("fixed", "maximum-iters", "split-into[:parts]", "reshape[:step]"). Each
+// call returns a fresh instance; stateful policies (reshape) reset at every
+// run boundary, so one instance may serve many sequential runs but must not
+// be shared between goroutines.
+func ParseAllocPolicy(spec string) (AllocationPolicy, error) {
+	return sim.ParseAllocPolicy(spec)
+}
+
+// AllocPolicySpecs lists the accepted allocation-policy spec forms.
+func AllocPolicySpecs() []string { return sim.AllocPolicySpecs() }
 
 // Scenario is a concrete experimental setting: a randomly drawn platform
 // plus run parameters. Runs on the same Scenario with the same trial seed
@@ -308,12 +323,12 @@ func (r *Runner) SetMode(m Mode) { r.mode = m }
 // randomness; the same (scenario, trialSeed) pair confronts every heuristic
 // with the same world.
 func (s *Scenario) Run(heuristic string, trialSeed uint64) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, ModeSlot, nil, nil)
+	return s.run(nil, heuristic, trialSeed, ModeSlot, nil, nil, nil)
 }
 
 // RunMode is Run under an explicit engine time base.
 func (s *Scenario) RunMode(heuristic string, trialSeed uint64, mode Mode) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, mode, nil, nil)
+	return s.run(nil, heuristic, trialSeed, mode, nil, nil, nil)
 }
 
 // RunWith is Run on a reusable Runner (nil falls back to a one-shot
@@ -323,23 +338,49 @@ func (s *Scenario) RunWith(r *Runner, heuristic string, trialSeed uint64) (*RunR
 	if r != nil {
 		mode = r.mode
 	}
-	return s.run(r, heuristic, trialSeed, mode, nil, nil)
+	return s.run(r, heuristic, trialSeed, mode, nil, nil, nil)
+}
+
+// RunAlloc runs the moldable variant of the application: the allocation
+// policy named by spec decides each iteration's task count (the scenario's
+// Tasks value seeds the policy as the application's natural shape). With
+// spec "fixed" the result is bit-identical to Run. The result's
+// IterationTasks records the per-iteration counts.
+func (s *Scenario) RunAlloc(heuristic, spec string, trialSeed uint64) (*RunResult, error) {
+	pol, err := ParseAllocPolicy(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(nil, heuristic, trialSeed, ModeSlot, nil, nil, pol)
+}
+
+// RunAllocWith is RunAlloc on a reusable Runner under the Runner's mode,
+// with a caller-held policy instance (stateful policies reset at every run
+// boundary, so one instance may serve many sequential runs on one
+// goroutine).
+func (s *Scenario) RunAllocWith(r *Runner, heuristic string, alloc AllocationPolicy,
+	trialSeed uint64) (*RunResult, error) {
+	mode := ModeSlot
+	if r != nil {
+		mode = r.mode
+	}
+	return s.run(r, heuristic, trialSeed, mode, nil, nil, alloc)
 }
 
 // RunWithHooks is Run with optional per-slot observer and event callbacks.
 func (s *Scenario) RunWithHooks(heuristic string, trialSeed uint64,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, ModeSlot, observer, onEvent)
+	return s.run(nil, heuristic, trialSeed, ModeSlot, observer, onEvent, nil)
 }
 
 // RunModeWithHooks is RunWithHooks under an explicit engine time base.
 func (s *Scenario) RunModeWithHooks(heuristic string, trialSeed uint64, mode Mode,
 	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
-	return s.run(nil, heuristic, trialSeed, mode, observer, onEvent)
+	return s.run(nil, heuristic, trialSeed, mode, observer, onEvent, nil)
 }
 
 func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64, mode Mode,
-	observer func(*SlotReport), onEvent func(Event)) (*RunResult, error) {
+	observer func(*SlotReport), onEvent func(Event), alloc AllocationPolicy) (*RunResult, error) {
 	// The pooled path consumes the RNG exactly as the allocating path does
 	// (Reseed mirrors New, TrialPool.Trial mirrors Trial), so both produce
 	// identical trajectories for the same trial seed.
@@ -372,6 +413,7 @@ func (s *Scenario) run(r *Runner, heuristic string, trialSeed uint64, mode Mode,
 		Mode:      mode,
 		Observer:  observer,
 		OnEvent:   onEvent,
+		Alloc:     alloc,
 	}
 	if r == nil {
 		return sim.Run(cfg)
